@@ -1,0 +1,188 @@
+package trustcoop
+
+// The repository-wide benchmark harness: one benchmark per experiment
+// (E1–E9, the evaluation suite that stands in for the paper's missing
+// quantitative section — see EXPERIMENTS.md) plus micro-benchmarks for the
+// hot paths whose complexity the paper makes claims about (the quadratic
+// scheduler and the logarithmic P-Grid lookup).
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/eval"
+	"trustcoop/internal/exchange"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/market"
+	"trustcoop/internal/pgrid"
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/mui"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := eval.Run(id, 42, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1SafeExistence(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2CompletionWelfare(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3LossExposure(b *testing.B)         { benchExperiment(b, "E3") }
+func BenchmarkE4TrustLearning(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Complexity(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6RiskAversion(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7MinimalStake(b *testing.B)         { benchExperiment(b, "E7") }
+func BenchmarkE8AdversarialWitnesses(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9Ablation(b *testing.B)             { benchExperiment(b, "E9") }
+
+// BenchmarkScheduleSafe exposes the scheduler's quadratic growth: ns/op
+// should scale ≈ 4× per size doubling… strictly, the Lawler order is a sort
+// (n log n) and the payment walk is linear, so the constant-factor story is
+// visible here while E5 reports the fitted exponent of the full pipeline.
+func BenchmarkScheduleSafe(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("items=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			gen := goods.DefaultGenConfig()
+			gen.Items = n
+			bundle := goods.MustGenerate(gen, rng)
+			terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
+			stake := exchange.MinimalStake(terms)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exchange.ScheduleSafe(terms, exchange.Stakes{Supplier: stake}, exchange.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleTrustAware measures the exposure-band scheduler.
+func BenchmarkScheduleTrustAware(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("items=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			gen := goods.DefaultGenConfig()
+			gen.Items = n
+			bundle := goods.MustGenerate(gen, rng)
+			terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
+			cap := exchange.MinimalExposure(terms)
+			caps := exchange.ExposureCaps{Supplier: cap, Consumer: cap}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exchange.ScheduleTrustAware(terms, caps, exchange.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinimalStake measures the Δ* analysis used by E7.
+func BenchmarkMinimalStake(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	gen := goods.DefaultGenConfig()
+	gen.Items = 64
+	bundle := goods.MustGenerate(gen, rng)
+	terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if exchange.MinimalStake(terms) < 0 {
+			b.Fatal("negative stake")
+		}
+	}
+}
+
+// BenchmarkPGridQuery shows the O(log N) routing cost of the reputation
+// store of [2].
+func BenchmarkPGridQuery(b *testing.B) {
+	for _, peers := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			g, err := pgrid.New(pgrid.Config{Peers: peers, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := g.KeyFor("subject")
+			if err := g.Insert(key, "record"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := g.Query(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBetaEstimate measures the direct-experience trust hot path.
+func BenchmarkBetaEstimate(b *testing.B) {
+	est := trust.NewBeta(trust.BetaConfig{})
+	for i := 0; i < 100; i++ {
+		est.Record("peer", trust.Outcome{Cooperated: i%3 != 0})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e := est.Estimate("peer"); e.P <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// BenchmarkMuiEstimate measures the witness-pooled estimate of [3].
+func BenchmarkMuiEstimate(b *testing.B) {
+	net := mui.NewNetwork(mui.Config{MaxWitnesses: 16})
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]trust.PeerID, 20)
+	for i := range ids {
+		ids[i] = trust.PeerID(fmt.Sprintf("w%d", i))
+	}
+	for _, a := range ids {
+		for _, t := range ids {
+			if a != t {
+				net.Record(a, t, trust.Outcome{Cooperated: rng.Intn(4) != 0})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e := net.Estimate(ids[0], ids[1]); e.P <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// BenchmarkMarketSession measures the end-to-end cost of one marketplace
+// session (plan, execute over netsim, settle, feed reputation).
+func BenchmarkMarketSession(b *testing.B) {
+	agents, err := agent.NewPopulation(agent.PopConfig{Honest: 8, Opportunist: 2, Stake: 2 * goods.Unit},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := market.NewEngine(market.Config{Seed: int64(i), Sessions: 10, Agents: agents})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

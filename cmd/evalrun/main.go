@@ -1,0 +1,61 @@
+// Command evalrun regenerates the experiment tables (E1–E9) that stand in
+// for the paper's evaluation. See EXPERIMENTS.md for the claim → experiment
+// mapping and the reference output.
+//
+// Usage:
+//
+//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trustcoop/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "evalrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("evalrun", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (e.g. E1,E5) or 'all'")
+	seed := fs.Int64("seed", 42, "random seed")
+	quick := fs.Bool("quick", false, "reduced trial counts (for smoke runs)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := eval.IDs()
+	if *expFlag != "all" {
+		ids = nil
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	for _, id := range ids {
+		tbl, err := eval.Run(id, *seed, *quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+			continue
+		}
+		if err := tbl.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command trustsim runs one marketplace scenario and prints the aggregate
+// outcome: the quickest way to poke at population mixes, strategies and
+// network conditions without writing code.
+//
+// Usage:
+//
+//	trustsim -honest 10 -backstabbers 4 -sessions 500 -strategy trust-aware -drop 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/market"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trustsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trustsim", flag.ContinueOnError)
+	honest := fs.Int("honest", 10, "honest agents")
+	rational := fs.Int("rational", 0, "rational agents (defect only when gain exceeds stake)")
+	opportunists := fs.Int("opportunists", 0, "opportunist agents")
+	random := fs.Int("random", 0, "randomly defecting agents")
+	backstabbers := fs.Int("backstabbers", 0, "backstabbing agents")
+	stake := fs.Float64("stake", 2, "reputation stake per agent (currency units)")
+	sessions := fs.Int("sessions", 400, "exchange sessions to run")
+	stratName := fs.String("strategy", "trust-aware", "naive | safe-only | trust-aware")
+	drop := fs.Float64("drop", 0, "per-message network loss probability")
+	seed := fs.Int64("seed", 1, "random seed")
+	items := fs.Int("items", 8, "items per bundle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var strat market.Strategy
+	switch *stratName {
+	case "naive":
+		strat = market.StrategyNaive
+	case "safe-only":
+		strat = market.StrategySafeOnly
+	case "trust-aware":
+		strat = market.StrategyTrustAware
+	default:
+		return fmt.Errorf("unknown strategy %q", *stratName)
+	}
+
+	pop := agent.PopConfig{
+		Honest:      *honest,
+		Rational:    *rational,
+		Opportunist: *opportunists,
+		Random:      *random,
+		Backstabber: *backstabbers,
+		Stake:       goods.FromFloat(*stake),
+	}
+	agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	gen := goods.DefaultGenConfig()
+	gen.Items = *items
+	eng, err := market.NewEngine(market.Config{
+		Seed:     *seed,
+		Sessions: *sessions,
+		Agents:   agents,
+		Gen:      gen,
+		Strategy: strat,
+		DropRate: *drop,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("strategy        %s  (population %d, sessions %d, drop %.1f%%)\n",
+		strat, pop.Size(), *sessions, 100**drop)
+	fmt.Printf("trade rate      %.1f%%   (no-trade %d)\n", 100*res.TradeRate(), res.NoTrade)
+	fmt.Printf("completed       %d      (completion rate %.1f%%, safe plans %d)\n",
+		res.Completed, 100*res.CompletionRate(), res.ModeSafe)
+	fmt.Printf("defected        %d      aborted by network %d\n", res.Defected, res.Aborted)
+	fmt.Printf("welfare         %v      trade volume %v\n", res.Welfare, res.TradeVolume)
+	fmt.Printf("honest losses   %v\n", res.HonestVictimLoss)
+	if res.ConsumerExposure.Count() > 0 {
+		fmt.Printf("consumer exposure (planned): %s\n", res.ConsumerExposure.String())
+	}
+	if len(res.DefectionsBy) > 0 {
+		names := make([]string, 0, len(res.DefectionsBy))
+		for n := range res.DefectionsBy {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("defections by behaviour:")
+		for _, n := range names {
+			fmt.Printf("  %-12s %d\n", n, res.DefectionsBy[n])
+		}
+	}
+	fmt.Printf("network         sent %d delivered %d dropped %d\n",
+		res.NetStats.Sent, res.NetStats.Delivered, res.NetStats.Dropped)
+	return nil
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"math/rand"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/market"
+)
+
+// E2Config parameterises the strategy-comparison experiment.
+type E2Config struct {
+	Seed       int64
+	Sessions   int       // 0 means 400
+	Population int       // 0 means 24
+	CheaterPct []float64 // nil means {0, 0.25, 0.5}
+	Strategies []market.Strategy
+}
+
+func (c E2Config) withDefaults() E2Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 400
+	}
+	if c.Population <= 0 {
+		c.Population = 24
+	}
+	if len(c.CheaterPct) == 0 {
+		c.CheaterPct = []float64{0, 0.25, 0.5}
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = []market.Strategy{market.StrategyNaive, market.StrategySafeOnly, market.StrategyTrustAware}
+	}
+	return c
+}
+
+// E2CompletionWelfare compares the three scheduling strategies across
+// populations with growing cheater fractions: the paper's core promise is
+// that trust-aware scheduling trades (almost) as often as naive exchange
+// while losing (almost) as little as safe-only refusal.
+func E2CompletionWelfare(cfg E2Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &Table{
+		ID:    "E2",
+		Title: "strategy comparison: trade rate, completion, welfare, honest losses",
+		Cols:  []string{"cheaters", "strategy", "trade rate", "completion", "welfare", "honest loss", "safe plans"},
+	}
+	for _, cheatPct := range cfg.CheaterPct {
+		for _, strat := range cfg.Strategies {
+			cheaters := int(cheatPct * float64(cfg.Population))
+			pop := agent.PopConfig{
+				Honest:      cfg.Population - cheaters,
+				Opportunist: cheaters / 2,
+				Backstabber: cheaters - cheaters/2,
+				// Stakes stay modest: large stakes would make everything
+				// safely schedulable and hide the differences.
+				Stake: 2 * goods.Unit,
+			}
+			agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
+			if err != nil {
+				return nil, err
+			}
+			eng, err := market.NewEngine(market.Config{
+				Seed:     cfg.Seed + int64(len(tbl.Rows)),
+				Sessions: cfg.Sessions,
+				Agents:   agents,
+				Strategy: strat,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(
+				pct(cheatPct),
+				strat.String(),
+				pct(res.TradeRate()),
+				pct(res.CompletionRate()),
+				f1(res.Welfare.Float64()),
+				f1(res.HonestVictimLoss.Float64()),
+				itoa(res.ModeSafe),
+			)
+		}
+	}
+	return tbl, nil
+}

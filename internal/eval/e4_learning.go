@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trustcoop/internal/stats"
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+	"trustcoop/internal/trust/mui"
+)
+
+// E4Config parameterises the trust-learning experiment.
+type E4Config struct {
+	Seed       int64
+	Population int   // 0 means 40
+	Rounds     []int // interactions per peer pair stage; nil means {5, 20, 80, 320}
+}
+
+func (c E4Config) withDefaults() E4Config {
+	if c.Population <= 0 {
+		c.Population = 40
+	}
+	if len(c.Rounds) == 0 {
+		c.Rounds = []int{5, 20, 80, 320}
+	}
+	return c
+}
+
+// E4TrustLearning compares the trust models the paper delegates to — the
+// Bayesian direct-experience estimator, the Mui et al. witness model [3]
+// and the Aberer–Despotovic complaint model [2] — on how quickly their
+// predictions approach the agents' true honesty as evidence accumulates.
+// The metric is the mean absolute error between the predicted cooperation
+// probability and the agent's ground-truth honesty, over all (observer,
+// subject) pairs with any evidence.
+func E4TrustLearning(cfg E4Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &Table{
+		ID:    "E4",
+		Title: "trust-model accuracy (MAE vs ground truth) as interactions accumulate",
+		Cols:  []string{"interactions", "beta", "beta+decay", "mui", "complaints"},
+	}
+
+	n := cfg.Population
+	ids := make([]trust.PeerID, n)
+	honesty := make(map[trust.PeerID]float64, n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range ids {
+		ids[i] = trust.PeerID(fmt.Sprintf("p%d", i))
+		// Bimodal population: 70% reliable (0.85–1.0), 30% cheaters (0–0.3).
+		if i%10 < 7 {
+			honesty[ids[i]] = 0.85 + 0.15*rng.Float64()
+		} else {
+			honesty[ids[i]] = 0.3 * rng.Float64()
+		}
+	}
+
+	beta := make(map[trust.PeerID]*trust.Beta, n)
+	betaDecay := make(map[trust.PeerID]*trust.Beta, n)
+	for _, id := range ids {
+		beta[id] = trust.NewBeta(trust.BetaConfig{})
+		betaDecay[id] = trust.NewBeta(trust.BetaConfig{Decay: 0.98})
+	}
+	muiNet := mui.NewNetwork(mui.Config{MaxWitnesses: 24})
+	store := complaints.NewMemoryStore()
+	assessor := complaints.Assessor{Store: store, Population: ids}
+
+	interactions := 0
+	for _, target := range cfg.Rounds {
+		for ; interactions < target*n; interactions++ {
+			obs := ids[rng.Intn(n)]
+			sub := ids[rng.Intn(n)]
+			if obs == sub {
+				continue
+			}
+			coop := rng.Float64() < honesty[sub]
+			o := trust.Outcome{Cooperated: coop}
+			beta[obs].Record(sub, o)
+			betaDecay[obs].Record(sub, o)
+			muiNet.Record(obs, sub, o)
+			if !coop {
+				if err := store.File(complaints.Complaint{From: obs, About: sub}); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		maeOf := func(est func(obs, sub trust.PeerID) (float64, bool)) (float64, error) {
+			var pred, truth []float64
+			for _, obs := range ids {
+				for _, sub := range ids {
+					if obs == sub {
+						continue
+					}
+					if p, ok := est(obs, sub); ok {
+						pred = append(pred, p)
+						truth = append(truth, honesty[sub])
+					}
+				}
+			}
+			return stats.MAE(pred, truth)
+		}
+		maeBeta, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+			e := beta[obs].Estimate(sub)
+			return e.P, e.Samples > 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		maeDecay, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+			e := betaDecay[obs].Estimate(sub)
+			return e.P, e.Samples > 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		maeMui, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+			e := muiNet.Estimate(obs, sub)
+			return e.P, true // witnesses make estimates available everywhere
+		})
+		if err != nil {
+			return nil, err
+		}
+		maeCompl, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+			p, err := assessor.Probability(sub)
+			if err != nil {
+				return 0, false
+			}
+			return p, true
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(itoa(target), f3(maeBeta), f3(maeDecay), f3(maeMui), f3(maeCompl))
+	}
+	return tbl, nil
+}

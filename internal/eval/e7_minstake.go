@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math/rand"
+
+	"trustcoop/internal/exchange"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/stats"
+)
+
+// E7Config parameterises the minimal-stake distribution experiment.
+type E7Config struct {
+	Seed   int64
+	Trials int   // bundles per size; 0 means 500
+	Sizes  []int // nil means {2, 4, 8, 16, 32, 64}
+}
+
+func (c E7Config) withDefaults() E7Config {
+	if c.Trials <= 0 {
+		c.Trials = 500
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{2, 4, 8, 16, 32, 64}
+	}
+	return c
+}
+
+// E7MinimalStake measures how much reputation collateral (Δ* = minimal
+// total stake for a fully safe sequence) and how much trust-backed exposure
+// (L* = minimal symmetric exposure caps) random bundles need, as a fraction
+// of the bundle cost. The paper's case for trust-awareness rests on Δ*
+// staying substantial (an isolated newcomer cannot trade safely) while L*
+// shrinks as bundles get more granular — finer chunks mean less needs to be
+// at risk at any moment.
+func E7MinimalStake(cfg E7Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &Table{
+		ID:    "E7",
+		Title: "minimal stake Δ* and minimal exposure L* as % of bundle cost",
+		Cols:  []string{"items", "Δ*/cost p50", "Δ*/cost p90", "L*/cost p50", "L*/cost p90", "L*≤5% share"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range cfg.Sizes {
+		gen := goods.DefaultGenConfig()
+		gen.Items = n
+		var dStar, lStar []float64
+		smallL := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			bundle, err := goods.Generate(gen, rng)
+			if err != nil {
+				return nil, err
+			}
+			terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
+			cost := bundle.TotalCost().Float64()
+			d := exchange.MinimalStake(terms).Float64() / cost
+			l := exchange.MinimalExposure(terms).Float64() / cost
+			dStar = append(dStar, d)
+			lStar = append(lStar, l)
+			if l <= 0.05 {
+				smallL++
+			}
+		}
+		tbl.AddRow(
+			itoa(n),
+			pct(stats.Percentile(dStar, 50)),
+			pct(stats.Percentile(dStar, 90)),
+			pct(stats.Percentile(lStar, 50)),
+			pct(stats.Percentile(lStar, 90)),
+			pct(float64(smallL)/float64(cfg.Trials)),
+		)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trustcoop/internal/pgrid"
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// E8Config parameterises the adversarial-witness experiment.
+type E8Config struct {
+	Seed         int64
+	Peers        int       // population size; 0 means 60
+	GridPeers    int       // storage peers; 0 means 128
+	Cheaters     int       // cheating peers; 0 means Peers/6
+	Interactions int       // 0 means 60 × Peers
+	LiarPct      []float64 // lying-reporter fractions; nil means {0, 0.15, 0.3, 0.45}
+	Replicas     []int     // replica queries per count; nil means {1, 3, 7}
+}
+
+func (c E8Config) withDefaults() E8Config {
+	if c.Peers <= 0 {
+		c.Peers = 60
+	}
+	if c.GridPeers <= 0 {
+		c.GridPeers = 128
+	}
+	if c.Cheaters <= 0 {
+		c.Cheaters = c.Peers / 6
+	}
+	if c.Interactions <= 0 {
+		c.Interactions = 60 * c.Peers
+	}
+	if len(c.LiarPct) == 0 {
+		c.LiarPct = []float64{0, 0.15, 0.3, 0.45}
+	}
+	if len(c.Replicas) == 0 {
+		c.Replicas = []int{1, 3, 7}
+	}
+	return c
+}
+
+// E8AdversarialWitnesses reproduces the robustness question of [2]: the
+// complaint-based trust model running over the decentralised P-Grid store
+// while (a) a fraction of *reporters* lie (file complaints about honest
+// peers instead of the cheaters who cheated them) and (b) the same fraction
+// of *storage* peers hide the data they hold. Reported: precision and
+// recall of cheater detection per liar fraction and replica-vote count.
+func E8AdversarialWitnesses(cfg E8Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &Table{
+		ID:    "E8",
+		Title: "cheater detection under lying reporters and Byzantine storage (pgrid)",
+		Cols:  []string{"liars", "replicas", "precision", "recall", "F1"},
+	}
+	for _, liarPct := range cfg.LiarPct {
+		for _, replicas := range cfg.Replicas {
+			precision, recall, err := runE8Cell(cfg, liarPct, replicas)
+			if err != nil {
+				return nil, err
+			}
+			f1Score := 0.0
+			if precision+recall > 0 {
+				f1Score = 2 * precision * recall / (precision + recall)
+			}
+			tbl.AddRow(pct(liarPct), itoa(replicas), f3(precision), f3(recall), f3(f1Score))
+		}
+	}
+	return tbl, nil
+}
+
+func runE8Cell(cfg E8Config, liarPct float64, replicas int) (precision, recall float64, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(liarPct*1000) + int64(replicas)))
+	grid, err := pgrid.New(pgrid.Config{Peers: cfg.GridPeers, Seed: cfg.Seed + int64(replicas)})
+	if err != nil {
+		return 0, 0, err
+	}
+	grid.MarkMalicious(liarPct)
+	store := &pgrid.ComplaintStore{Grid: grid, Replicas: replicas}
+
+	population := make([]trust.PeerID, cfg.Peers)
+	isCheater := make(map[trust.PeerID]bool, cfg.Cheaters)
+	isLiar := make(map[trust.PeerID]bool)
+	for i := range population {
+		population[i] = trust.PeerID(fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < cfg.Cheaters; i++ {
+		isCheater[population[i]] = true
+	}
+	honest := population[cfg.Cheaters:]
+	for _, idx := range rng.Perm(len(honest))[:int(liarPct*float64(len(honest)))] {
+		isLiar[honest[idx]] = true
+	}
+
+	for k := 0; k < cfg.Interactions; k++ {
+		a := population[rng.Intn(len(population))]
+		b := population[rng.Intn(len(population))]
+		if a == b {
+			continue
+		}
+		if isCheater[b] {
+			if isLiar[a] {
+				// Liars shield cheaters and frame an honest peer instead.
+				victim := honest[rng.Intn(len(honest))]
+				err = store.File(complaints.Complaint{From: a, About: victim})
+			} else {
+				err = store.File(complaints.Complaint{From: a, About: b})
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+
+	assessor := complaints.Assessor{Store: store, Population: population}
+	var tp, fp, fn int
+	for _, p := range population {
+		ok, err := assessor.Trustworthy(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		flagged := !ok
+		switch {
+		case flagged && isCheater[p]:
+			tp++
+		case flagged && !isCheater[p]:
+			fp++
+		case !flagged && isCheater[p]:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall, nil
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one experiment with default configuration.
+type Runner func(seed int64, quick bool) (*Table, error)
+
+// All returns the experiment registry: id → runner. The quick flag shrinks
+// trial counts for smoke tests and benchmarks.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"E1": func(seed int64, quick bool) (*Table, error) {
+			cfg := E1Config{Seed: seed}
+			if quick {
+				cfg.Trials = 30
+				cfg.Sizes = []int{2, 8}
+			}
+			return E1SafeExistence(cfg)
+		},
+		"E2": func(seed int64, quick bool) (*Table, error) {
+			cfg := E2Config{Seed: seed}
+			if quick {
+				cfg.Sessions = 60
+				cfg.Population = 10
+				cfg.CheaterPct = []float64{0, 0.4}
+			}
+			return E2CompletionWelfare(cfg)
+		},
+		"E3": func(seed int64, quick bool) (*Table, error) {
+			cfg := E3Config{Seed: seed}
+			if quick {
+				cfg.Sessions = 60
+				cfg.Population = 10
+				cfg.CheaterPct = []float64{0.4}
+			}
+			return E3LossExposure(cfg)
+		},
+		"E4": func(seed int64, quick bool) (*Table, error) {
+			cfg := E4Config{Seed: seed}
+			if quick {
+				cfg.Population = 16
+				cfg.Rounds = []int{5, 20}
+			}
+			return E4TrustLearning(cfg)
+		},
+		"E5": func(seed int64, quick bool) (*Table, error) {
+			cfg := E5Config{Seed: seed}
+			if quick {
+				cfg.SchedSizes = []int{8, 32}
+				cfg.SchedReps = 3
+				cfg.GridSizes = []int{64, 256}
+				cfg.GridProbes = 50
+			}
+			return E5Complexity(cfg)
+		},
+		"E6": func(seed int64, quick bool) (*Table, error) {
+			cfg := E6Config{Seed: seed}
+			if quick {
+				cfg.Sessions = 60
+				cfg.Population = 9
+				cfg.Alphas = []float64{0, 0.2}
+			}
+			return E6RiskAversion(cfg)
+		},
+		"E7": func(seed int64, quick bool) (*Table, error) {
+			cfg := E7Config{Seed: seed}
+			if quick {
+				cfg.Trials = 40
+				cfg.Sizes = []int{2, 16}
+			}
+			return E7MinimalStake(cfg)
+		},
+		"E8": func(seed int64, quick bool) (*Table, error) {
+			cfg := E8Config{Seed: seed}
+			if quick {
+				cfg.Peers = 24
+				cfg.GridPeers = 32
+				cfg.Interactions = 600
+				cfg.LiarPct = []float64{0, 0.3}
+				cfg.Replicas = []int{1, 3}
+			}
+			return E8AdversarialWitnesses(cfg)
+		},
+		"E9": func(seed int64, quick bool) (*Table, error) {
+			cfg := E9Config{Seed: seed}
+			if quick {
+				cfg.Trials = 30
+				cfg.Items = 8
+			}
+			return E9Ablation(cfg)
+		},
+	}
+}
+
+// IDs lists the experiment ids in order.
+func IDs() []string {
+	m := All()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, seed int64, quick bool) (*Table, error) {
+	r, ok := All()[id]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(seed, quick)
+}

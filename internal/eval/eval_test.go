@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "demo", Cols: []string{"a", "long-header"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("only-one")
+	var sb strings.Builder
+	if err := tbl.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "T — demo") || !strings.Contains(out, "long-header") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows → 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Errorf("line count = %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "demo", Cols: []string{"a", "b"}}
+	tbl.AddRow("x,y", `he said "hi"`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"he said ""hi"""`) {
+		t.Errorf("csv quoting:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv header:\n%s", csv)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99", 1, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 9 {
+		t.Fatalf("IDs = %v, want 9 experiments", ids)
+	}
+	for i, id := range ids {
+		want := "E" + strconv.Itoa(i+1)
+		if id != want {
+			t.Errorf("IDs[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every experiment with reduced configs
+// and sanity-checks the table shapes.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, 42, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != id {
+				t.Errorf("table ID = %s", tbl.ID)
+			}
+			if len(tbl.Cols) < 2 || len(tbl.Rows) == 0 {
+				t.Fatalf("degenerate table: %d cols, %d rows", len(tbl.Cols), len(tbl.Rows))
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Cols) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tbl.Cols))
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"E1", "E7", "E9"} {
+		a, err := Run(id, 7, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, 7, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// E5 measures wall-clock time, so it is exempt; the pure-simulation
+		// experiments must reproduce exactly.
+		if a.String() != b.String() {
+			t.Errorf("%s not deterministic:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
+func TestE3NeverViolatesExposure(t *testing.T) {
+	tbl, err := Run("E3", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violIdx := -1
+	for i, c := range tbl.Cols {
+		if c == "violations" {
+			violIdx = i
+		}
+	}
+	if violIdx < 0 {
+		t.Fatal("no violations column")
+	}
+	for _, row := range tbl.Rows {
+		if row[violIdx] != "0" {
+			t.Errorf("exposure violation recorded: %v", row)
+		}
+	}
+}
+
+func TestE1IsolatedExchangeRowIsZero(t *testing.T) {
+	tbl, err := E1SafeExistence(E1Config{Seed: 5, Trials: 50, Sizes: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ=0 column: no bundle with positive costs has a safe sequence.
+	for _, row := range tbl.Rows {
+		if row[2] != "0.0%" {
+			t.Errorf("isolated existence = %s, want 0.0%%", row[2])
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package exchange
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"trustcoop/internal/goods"
+)
+
+func TestAnalyzeHandBuiltPlan(t *testing.T) {
+	tm, _, seq := validPlan(t) // pay 5, deliver b, pay 10, deliver a; δs = 4
+	eq, err := Analyze(tm, Stakes{Supplier: 4}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supplier's best deviation: before delivering a with m=15, cd=6:
+	// (15−6) − 5 = 4 — exactly the stake, so honesty (weakly) holds.
+	if eq.SupplierBest.StepIndex != 3 || eq.SupplierBest.Gain != 4 {
+		t.Errorf("supplier best = %+v, want step 3 gain 4", eq.SupplierBest)
+	}
+	// Consumer's best deviation: before paying 10 with wd=12, m=5:
+	// (12−5) − 7 = 0.
+	if eq.ConsumerBest.StepIndex != 2 || eq.ConsumerBest.Gain != 0 {
+		t.Errorf("consumer best = %+v, want step 2 gain 0", eq.ConsumerBest)
+	}
+	if !eq.Holds() {
+		t.Error("staked safe plan must be an equilibrium")
+	}
+	if !strings.Contains(eq.String(), "subgame-perfect") {
+		t.Errorf("String = %q", eq.String())
+	}
+	// Without the stake the supplier's deviation pays: no equilibrium.
+	eq, err = Analyze(tm, Stakes{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Holds() || eq.SupplierHonest {
+		t.Error("unstaked sequence cannot be an equilibrium")
+	}
+	if !strings.Contains(eq.String(), "NOT") {
+		t.Errorf("String = %q", eq.String())
+	}
+}
+
+func TestSafePlansAreEquilibriaProperty(t *testing.T) {
+	// The paper's core guarantee, as a game-theoretic property: every plan
+	// produced under SafeBands is a subgame-perfect equilibrium under the
+	// same stakes.
+	rng := rand.New(rand.NewSource(67))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		tm := randomBeneficialTerms(rng, 1+rng.Intn(8), false)
+		st := Stakes{
+			Supplier: goods.Money(rng.Intn(60)),
+			Consumer: goods.Money(rng.Intn(60)),
+		}
+		plan, err := ScheduleSafe(tm, st, Options{})
+		if err != nil {
+			continue
+		}
+		checked++
+		eq, err := Analyze(tm, st, plan.Steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq.Holds() {
+			t.Fatalf("trial %d: safe plan is not an equilibrium: %s\nterms %+v stakes %+v",
+				trial, eq, tm, st)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d feasible instances checked; generator too strict", checked)
+	}
+}
+
+func TestNaiveUpfrontPaymentIsNotEquilibrium(t *testing.T) {
+	tm := twoItemTerms()
+	naive := Sequence{
+		{Kind: StepPay, Amount: tm.Price},
+		{Kind: StepDeliver, Item: tm.Bundle.Items[0]},
+		{Kind: StepDeliver, Item: tm.Bundle.Items[1]},
+	}
+	eq, err := Analyze(tm, Stakes{}, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.SupplierHonest {
+		t.Error("pay-everything-upfront should maximally tempt the supplier")
+	}
+	// Supplier's best deviation: right after full payment, before any
+	// delivery: gain = 15 − 5 = 10.
+	if eq.SupplierBest.Gain != 10 || eq.SupplierBest.StepIndex != 1 {
+		t.Errorf("supplier best = %+v, want gain 10 at step 1", eq.SupplierBest)
+	}
+	// And the consumer would lose the full payment.
+	supLoss, conLoss, err := WorstCaseLoss(tm, Stakes{}, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conLoss != 15 {
+		t.Errorf("consumer worst-case loss = %v, want full price 15", conLoss)
+	}
+	if supLoss != 0 {
+		t.Errorf("supplier worst-case loss = %v, want 0 (consumer never tempted)", supLoss)
+	}
+}
+
+func TestWorstCaseLossMatchesExposureReport(t *testing.T) {
+	// For trust-aware plans, the loss a victim suffers at the opponent's
+	// best deviation can never exceed the validator's worst-case exposure.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		tm := randomBeneficialTerms(rng, 1+rng.Intn(7), false)
+		caps := ExposureCaps{
+			Supplier: goods.Money(rng.Intn(80)),
+			Consumer: goods.Money(rng.Intn(80)),
+		}
+		plan, err := ScheduleTrustAware(tm, caps, Options{})
+		if err != nil {
+			continue
+		}
+		supLoss, conLoss, err := WorstCaseLoss(tm, Stakes{}, plan.Steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if supLoss > plan.Report.MaxSupplierExposure {
+			t.Fatalf("trial %d: supplier deviation loss %v exceeds reported exposure %v",
+				trial, supLoss, plan.Report.MaxSupplierExposure)
+		}
+		if conLoss > plan.Report.MaxConsumerExposure {
+			t.Fatalf("trial %d: consumer deviation loss %v exceeds reported exposure %v",
+				trial, conLoss, plan.Report.MaxConsumerExposure)
+		}
+	}
+}
+
+func TestAnalyzeQuickProperties(t *testing.T) {
+	// testing/quick over arbitrary two-item economies: for any stakes,
+	// raising the stakes never turns an equilibrium into a non-equilibrium
+	// (monotonicity), and Analyze never errors on well-formed sequences.
+	f := func(c1, w1, c2, w2, priceRaw uint16, dS, dC uint8) bool {
+		items := []goods.Item{
+			{ID: "x", Cost: goods.Money(c1 % 500), Worth: goods.Money(w1 % 500)},
+			{ID: "y", Cost: goods.Money(c2 % 500), Worth: goods.Money(w2 % 500)},
+		}
+		b := goods.Bundle{Items: items}
+		tm := Terms{Bundle: b, Price: goods.Money(priceRaw % 1000)}
+		seq := Sequence{
+			{Kind: StepPay, Amount: tm.Price/2 + 1},
+			{Kind: StepDeliver, Item: items[0]},
+			{Kind: StepPay, Amount: tm.Price - tm.Price/2 + 1},
+			{Kind: StepDeliver, Item: items[1]},
+		}
+		low := Stakes{Supplier: goods.Money(dS), Consumer: goods.Money(dC)}
+		high := Stakes{Supplier: low.Supplier + 100, Consumer: low.Consumer + 100}
+		eqLow, err := Analyze(tm, low, seq)
+		if err != nil {
+			return false
+		}
+		eqHigh, err := Analyze(tm, high, seq)
+		if err != nil {
+			return false
+		}
+		if eqLow.Holds() && !eqHigh.Holds() {
+			return false
+		}
+		// Best deviations are state-independent of stakes.
+		return eqLow.SupplierBest == eqHigh.SupplierBest && eqLow.ConsumerBest == eqHigh.ConsumerBest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeRejectsMalformed(t *testing.T) {
+	tm := twoItemTerms()
+	if _, err := Analyze(Terms{}, Stakes{}, nil); err == nil {
+		t.Error("invalid terms accepted")
+	}
+	if _, err := Analyze(tm, Stakes{}, Sequence{{Kind: StepKind(9)}}); err == nil {
+		t.Error("unknown step kind accepted")
+	}
+}
+
+func TestAnalyzeEmptySequence(t *testing.T) {
+	// No steps: nobody ever acts, so nobody can deviate.
+	eq, err := Analyze(twoItemTerms(), Stakes{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.SupplierBest.StepIndex != -1 || eq.ConsumerBest.StepIndex != -1 {
+		t.Errorf("deviations on empty sequence: %+v", eq)
+	}
+	if !eq.Holds() {
+		t.Error("vacuous equilibrium should hold")
+	}
+}

@@ -1,0 +1,162 @@
+package exchange
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"trustcoop/internal/goods"
+)
+
+// ScheduleSafe finds a safe exchange sequence under reputation stakes
+// (paper §2): a schedule from which neither rational party ever profits by
+// defecting. With zero stakes this fails for every bundle whose last item
+// would have positive cost — the paper's isolated-exchange impossibility.
+// It returns ErrNoSafeSequence (wrapped) when none exists.
+func ScheduleSafe(t Terms, s Stakes, opt Options) (Plan, error) {
+	plan, err := Schedule(t, SafeBands(s), opt)
+	if err != nil {
+		if errors.Is(err, ErrNoFeasibleSequence) {
+			return Plan{}, fmt.Errorf("%w (stakes δs=%v δc=%v)", ErrNoSafeSequence, s.Supplier, s.Consumer)
+		}
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+// ScheduleTrustAware finds an exchange sequence that keeps each party's
+// worst-case exposure within its trust-derived cap (paper §3). It returns
+// ErrNoFeasibleSequence (wrapped) when none exists.
+func ScheduleTrustAware(t Terms, c ExposureCaps, opt Options) (Plan, error) {
+	return Schedule(t, TrustAwareBands(c), opt)
+}
+
+// Schedule finds an exchange sequence satisfying the requested bands.
+//
+// Delivery orders are tried in this sequence:
+//  1. the greedy order that is provably optimal for the enabled band family
+//     when every item has non-negative surplus (Lawler order for safety,
+//     ascending-cost for exposure);
+//  2. a small portfolio of alternative orders (covers most mixed instances);
+//  3. an exact memoised subset search, bounded by Options.SearchBudget.
+//
+// The overall cost is O(n²) for the common case; the exact search only runs
+// when every heuristic order fails.
+func Schedule(t Terms, b Bands, opt Options) (Plan, error) {
+	if err := t.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return Plan{}, err
+	}
+	for _, order := range candidateOrders(t, b) {
+		plan, err := PlanForOrder(t, b, order, opt)
+		if err == nil {
+			return plan, nil
+		}
+		if !errors.Is(err, ErrNoFeasibleSequence) {
+			return Plan{}, err
+		}
+	}
+	if b.Safety != b.Exposure && allNonNegativeSurplus(t.Bundle) {
+		// With a single band family and no negative-surplus items the first
+		// candidate order is provably optimal: failure is a proof.
+		return Plan{}, fmt.Errorf("%w: proven by optimal greedy order (all item surpluses ≥ 0)", ErrNoFeasibleSequence)
+	}
+	order, err := searchOrder(t, b, opt.budget())
+	if err != nil {
+		return Plan{}, err
+	}
+	return PlanForOrder(t, b, order, opt)
+}
+
+// candidateOrders returns the heuristic delivery-order portfolio, the
+// provably-good order for the active band family first.
+func candidateOrders(t Terms, b Bands) [][]goods.Item {
+	var orders [][]goods.Item
+	switch {
+	case b.Safety && !b.Exposure:
+		orders = append(orders, lawlerOrder(t.Bundle))
+	case b.Exposure && !b.Safety:
+		orders = append(orders, t.Bundle.SortedByCost())
+	default:
+		orders = append(orders, lawlerOrder(t.Bundle), t.Bundle.SortedByCost())
+	}
+	orders = append(orders,
+		reverseItems(t.Bundle.SortedByCost()), // descending cost
+		t.Bundle.SortedByWorth(),
+		reverseItems(t.Bundle.SortedByWorth()),
+		sortedBySurplus(t.Bundle),
+	)
+	return orders
+}
+
+// lawlerOrder computes the delivery order that maximises the minimum safety
+// slack, by Lawler's rule for 1||f_max: repeatedly place *last* the remaining
+// item with the smallest cost Vs (ties broken by ID). The resulting forward
+// order delivers items in descending supplier cost. Optimal whenever every
+// item surplus Vc(x) − Vs(x) is non-negative (see DESIGN.md for the
+// reduction); a heuristic otherwise.
+//
+// Because the per-step selection criterion (min Vs among remaining) does not
+// depend on what has already been placed, the O(n²) greedy collapses to a
+// single sort; LawlerOrderReference keeps the literal quadratic form of the
+// paper's algorithm for validation and for the E5 complexity experiment.
+func lawlerOrder(b goods.Bundle) []goods.Item {
+	asc := b.SortedByCost()
+	return reverseItems(asc)
+}
+
+// LawlerOrderReference is the literal form of the paper's quadratic-time
+// algorithm: n backward steps, each scanning the remaining items for the
+// one with minimal supplier cost. It returns exactly the same order as the
+// sort-based fast path (ties broken by ID) and exists to validate that
+// equivalence and to measure the O(n²) cost the paper claims.
+func LawlerOrderReference(b goods.Bundle) []goods.Item {
+	remaining := make([]goods.Item, len(b.Items))
+	copy(remaining, b.Items)
+	order := make([]goods.Item, len(remaining))
+	for pos := len(order) - 1; pos >= 0; pos-- {
+		best := 0
+		for i := 1; i < len(remaining); i++ {
+			if remaining[i].Cost < remaining[best].Cost ||
+				(remaining[i].Cost == remaining[best].Cost && remaining[i].ID < remaining[best].ID) {
+				best = i
+			}
+		}
+		order[pos] = remaining[best]
+		remaining[best] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return order
+}
+
+func reverseItems(items []goods.Item) []goods.Item {
+	out := make([]goods.Item, len(items))
+	for i, it := range items {
+		out[len(items)-1-i] = it
+	}
+	return out
+}
+
+func sortedBySurplus(b goods.Bundle) []goods.Item {
+	items := make([]goods.Item, len(b.Items))
+	copy(items, b.Items)
+	sort.Slice(items, func(i, j int) bool {
+		si, sj := items[i].Surplus(), items[j].Surplus()
+		if si != sj {
+			return si < sj
+		}
+		return items[i].ID < items[j].ID
+	})
+	return items
+}
+
+func allNonNegativeSurplus(b goods.Bundle) bool {
+	for _, it := range b.Items {
+		if it.Surplus() < 0 {
+			return false
+		}
+	}
+	return true
+}

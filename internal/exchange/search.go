@@ -1,0 +1,93 @@
+package exchange
+
+import (
+	"fmt"
+	"sort"
+
+	"trustcoop/internal/goods"
+)
+
+// searchOrder finds a feasible delivery order by exact depth-first search
+// over delivered-item subsets. Feasibility from a state depends only on the
+// delivered *set* (the band's upper edge is monotone in the set and the
+// lower edge only binds at deliveries — see DESIGN.md), so memoising failed
+// subsets makes the search exact in at most 2^n states. The budget caps the
+// number of distinct states visited; when it is hit the search reports
+// ErrBudgetExhausted instead of claiming infeasibility.
+func searchOrder(t Terms, b Bands, budget int) ([]goods.Item, error) {
+	n := t.Bundle.Len()
+	if n > 63 {
+		return nil, fmt.Errorf("%w: exact search supports at most 63 items, bundle has %d", ErrBudgetExhausted, n)
+	}
+	ctx := newBandCtx(t, b)
+
+	// Order-independent boundary conditions.
+	if lo0, hi0 := ctx.rangeAt(0, 0); lo0 > 0 || hi0 < 0 {
+		return nil, fmt.Errorf("%w: initial state outside band [%v, %v]", ErrNoFeasibleSequence, lo0, hi0)
+	}
+	if loG, hiG := ctx.rangeAt(t.Bundle.TotalCost(), t.Bundle.TotalWorth()); t.Price < loG || t.Price > hiG {
+		return nil, fmt.Errorf("%w: settlement price %v outside final band [%v, %v]", ErrNoFeasibleSequence, t.Price, loG, hiG)
+	}
+
+	// Iterate items in ascending cost: cheap items loosen the band fastest,
+	// which tends to find witnesses early.
+	items := make([]goods.Item, n)
+	copy(items, t.Bundle.Items)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Cost != items[j].Cost {
+			return items[i].Cost < items[j].Cost
+		}
+		return items[i].ID < items[j].ID
+	})
+
+	full := uint64(1)<<uint(n) - 1
+	failed := make(map[uint64]struct{})
+	order := make([]goods.Item, 0, n)
+	visited := 0
+	budgetHit := false
+
+	var dfs func(mask uint64, cd, wd goods.Money) bool
+	dfs = func(mask uint64, cd, wd goods.Money) bool {
+		if mask == full {
+			return true
+		}
+		if _, bad := failed[mask]; bad {
+			return false
+		}
+		if visited >= budget {
+			budgetHit = true
+			return false
+		}
+		visited++
+		_, hiHere := ctx.rangeAt(cd, wd)
+		for i, it := range items {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 {
+				continue
+			}
+			loNext, _ := ctx.rangeAt(cd+it.Cost, wd+it.Worth)
+			if loNext > hiHere {
+				continue
+			}
+			order = append(order, it)
+			if dfs(mask|bit, cd+it.Cost, wd+it.Worth) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		if !budgetHit {
+			failed[mask] = struct{}{}
+		}
+		return false
+	}
+
+	if dfs(0, 0, 0) {
+		out := make([]goods.Item, len(order))
+		copy(out, order)
+		return out, nil
+	}
+	if budgetHit {
+		return nil, fmt.Errorf("%w: visited %d states", ErrBudgetExhausted, visited)
+	}
+	return nil, fmt.Errorf("%w: exhaustive subset search", ErrNoFeasibleSequence)
+}

@@ -1,0 +1,105 @@
+package exchange
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustcoop/internal/goods"
+)
+
+func TestSearchOrderTooManyItems(t *testing.T) {
+	items := make([]goods.Item, 64)
+	for i := range items {
+		items[i] = goods.Item{ID: fmt.Sprintf("i%d", i), Cost: 1, Worth: 2}
+	}
+	tm := Terms{Bundle: goods.Bundle{Items: items}, Price: 80}
+	_, err := searchOrder(tm, SafeBands(Stakes{Supplier: 100}), DefaultSearchBudget)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted for >63 items", err)
+	}
+}
+
+func TestSearchOrderBudgetExhaustion(t *testing.T) {
+	// A combined instance with negative-surplus items and tight bands makes
+	// the heuristics fail; a budget of 1 state cannot decide feasibility.
+	rng := rand.New(rand.NewSource(3))
+	tm := randomBeneficialTerms(rng, 12, true)
+	bands := CombinedBands(Stakes{Supplier: 1, Consumer: 1}, ExposureCaps{Supplier: 1, Consumer: 1})
+	_, err := searchOrder(tm, bands, 1)
+	if err == nil {
+		return // trivially feasible — fine, nothing to assert
+	}
+	if !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, ErrNoFeasibleSequence) {
+		t.Fatalf("err = %v, want budget exhaustion or a boundary proof", err)
+	}
+}
+
+func TestSearchOrderFindsWitnessHeuristicsMiss(t *testing.T) {
+	// Negative-surplus instance where simple sorts can fail but search
+	// succeeds; verified feasible by the permutation oracle. Constructed so
+	// the negative item must go in the middle of the order.
+	items := []goods.Item{
+		{ID: "cheap", Cost: 1, Worth: 30},
+		{ID: "dud", Cost: 10, Worth: 0}, // negative surplus
+		{ID: "dear", Cost: 20, Worth: 40},
+	}
+	tm := Terms{Bundle: goods.Bundle{Items: items}, Price: 45}
+	bands := CombinedBands(Stakes{Supplier: 25, Consumer: 25}, ExposureCaps{Supplier: 30, Consumer: 30})
+	if !oracleFeasible(tm, bands) {
+		t.Skip("oracle says infeasible; instance no longer exercises the search")
+	}
+	order, err := searchOrder(tm, bands, DefaultSearchBudget)
+	if err != nil {
+		t.Fatalf("searchOrder: %v", err)
+	}
+	if _, err := PlanForOrder(tm, bands, order, Options{}); err != nil {
+		t.Fatalf("search produced infeasible order: %v", err)
+	}
+}
+
+func TestSearchMatchesOracleOnHardInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		tm := randomBeneficialTerms(rng, 1+rng.Intn(7), true)
+		bands := CombinedBands(
+			Stakes{Supplier: goods.Money(rng.Intn(30)), Consumer: goods.Money(rng.Intn(30))},
+			ExposureCaps{Supplier: goods.Money(rng.Intn(30)), Consumer: goods.Money(rng.Intn(30))},
+		)
+		want := oracleFeasible(tm, bands)
+		order, err := searchOrder(tm, bands, DefaultSearchBudget)
+		got := err == nil
+		if got != want {
+			t.Fatalf("trial %d: search=%v oracle=%v\nterms %+v bands %+v err %v", trial, got, want, tm, bands, err)
+		}
+		if got {
+			if _, err := PlanForOrder(tm, bands, order, Options{}); err != nil {
+				t.Fatalf("trial %d: search order infeasible: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestMinimalStakeNeverBelowCheapestItem(t *testing.T) {
+	// With strictly positive costs the last delivery always needs stake
+	// cover, so Δ* ≥ min item cost; for non-negative surpluses it is exactly
+	// the min cost only when no earlier step binds harder.
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 100; trial++ {
+		tm := randomBeneficialTerms(rng, 1+rng.Intn(6), false)
+		minCost := goods.Unlimited
+		allPositive := true
+		for _, it := range tm.Bundle.Items {
+			if it.Cost < minCost {
+				minCost = it.Cost
+			}
+			if it.Cost == 0 {
+				allPositive = false
+			}
+		}
+		if allPositive && MinimalStake(tm) < minCost {
+			t.Fatalf("trial %d: MinimalStake %v below cheapest cost %v", trial, MinimalStake(tm), minCost)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package exchange
+
+import (
+	"fmt"
+
+	"trustcoop/internal/goods"
+)
+
+// Report summarises a validated sequence: the realised worst-case exposures,
+// the tightest band margin, and defection temptations. All quantities are
+// maxima/minima over every intermediate state of the exchange.
+type Report struct {
+	Payments   int
+	Deliveries int
+	TotalPaid  goods.Money
+
+	// MaxConsumerExposure is max over states of m − Vc(D): the most the
+	// consumer stood to lose had the supplier defected at the worst moment.
+	MaxConsumerExposure goods.Money
+	// MaxSupplierExposure is max over states of Vs(D) − m.
+	MaxSupplierExposure goods.Money
+	// MinSlack is the minimum over states of distance to either band edge —
+	// how close the schedule sails to a violation.
+	MinSlack goods.Money
+	// MaxSupplierTemptation is max over states of the supplier's defection
+	// gain minus completion gain, (m − Vs(D)) − (P − Vs(G)). A safe schedule
+	// keeps this ≤ δs.
+	MaxSupplierTemptation goods.Money
+	// MaxConsumerTemptation is max over states of (Vc(D) − m) − (Vc(G) − P).
+	MaxConsumerTemptation goods.Money
+}
+
+// ViolationError describes the first band or structure violation found while
+// replaying a sequence.
+type ViolationError struct {
+	StepIndex int // index into the sequence; −1 for the initial state
+	Reason    string
+	M         goods.Money // cumulative payment at the violation
+	Lo, Hi    goods.Money // band edges at the violation
+}
+
+// Error implements the error interface.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("exchange: step %d: %s (m=%v band=[%v, %v])", e.StepIndex, e.Reason, e.M, e.Lo, e.Hi)
+}
+
+// Validate replays seq against the terms and bands, checking after the
+// initial state and every step that the cumulative payment stays inside the
+// admissible band, that each bundle item is delivered exactly once, that
+// payments are positive, and that the total paid equals the price. It
+// returns the replay report, or a *ViolationError describing the first
+// violation.
+func Validate(t Terms, b Bands, seq Sequence) (Report, error) {
+	if err := t.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return Report{}, err
+	}
+	ctx := newBandCtx(t, b)
+	want := make(map[string]goods.Item, t.Bundle.Len())
+	for _, it := range t.Bundle.Items {
+		want[it.ID] = it
+	}
+
+	rep := Report{
+		MaxConsumerExposure:   -goods.Unlimited,
+		MaxSupplierExposure:   -goods.Unlimited,
+		MinSlack:              goods.Unlimited,
+		MaxSupplierTemptation: -goods.Unlimited,
+		MaxConsumerTemptation: -goods.Unlimited,
+	}
+	var m, cd, wd goods.Money
+	supplierCompletion := t.SupplierGain()
+	consumerCompletion := t.ConsumerGain()
+
+	observe := func(idx int) *ViolationError {
+		lo, hi := ctx.rangeAt(cd, wd)
+		if m < lo || m > hi {
+			return &ViolationError{StepIndex: idx, Reason: "payment outside admissible band", M: m, Lo: lo, Hi: hi}
+		}
+		rep.MaxConsumerExposure = goods.MaxMoney(rep.MaxConsumerExposure, m-wd)
+		rep.MaxSupplierExposure = goods.MaxMoney(rep.MaxSupplierExposure, cd-m)
+		slack := goods.MinMoney(m.SubSat(lo), hi.SubSat(m))
+		rep.MinSlack = goods.MinMoney(rep.MinSlack, slack)
+		rep.MaxSupplierTemptation = goods.MaxMoney(rep.MaxSupplierTemptation, (m-cd)-supplierCompletion)
+		rep.MaxConsumerTemptation = goods.MaxMoney(rep.MaxConsumerTemptation, (wd-m)-consumerCompletion)
+		return nil
+	}
+
+	if v := observe(-1); v != nil {
+		return Report{}, v
+	}
+	for i, s := range seq {
+		switch s.Kind {
+		case StepPay:
+			if s.Amount <= 0 {
+				return Report{}, &ViolationError{StepIndex: i, Reason: fmt.Sprintf("non-positive payment %v", s.Amount), M: m}
+			}
+			m += s.Amount
+			rep.Payments++
+			rep.TotalPaid += s.Amount
+		case StepDeliver:
+			it, ok := want[s.Item.ID]
+			if !ok {
+				return Report{}, &ViolationError{StepIndex: i, Reason: fmt.Sprintf("item %q not in bundle or delivered twice", s.Item.ID), M: m}
+			}
+			if it != s.Item {
+				return Report{}, &ViolationError{StepIndex: i, Reason: fmt.Sprintf("item %q valuations differ from agreed terms", s.Item.ID), M: m}
+			}
+			delete(want, s.Item.ID)
+			cd += s.Item.Cost
+			wd += s.Item.Worth
+			rep.Deliveries++
+		default:
+			return Report{}, &ViolationError{StepIndex: i, Reason: fmt.Sprintf("unknown step kind %v", s.Kind), M: m}
+		}
+		if v := observe(i); v != nil {
+			return Report{}, v
+		}
+	}
+	if len(want) > 0 {
+		return Report{}, &ViolationError{StepIndex: len(seq), Reason: fmt.Sprintf("%d items never delivered", len(want)), M: m}
+	}
+	if m != t.Price {
+		return Report{}, &ViolationError{StepIndex: len(seq), Reason: fmt.Sprintf("total paid %v differs from price %v", m, t.Price), M: m}
+	}
+	return rep, nil
+}

@@ -1,0 +1,185 @@
+package exchange
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"trustcoop/internal/goods"
+)
+
+// validPlan returns the hand-verified staked schedule of the worked example.
+func validPlan(t *testing.T) (Terms, Bands, Sequence) {
+	t.Helper()
+	tm := twoItemTerms()
+	bands := SafeBands(Stakes{Supplier: 4})
+	seq := Sequence{
+		{Kind: StepPay, Amount: 5},
+		{Kind: StepDeliver, Item: goods.Item{ID: "b", Cost: 6, Worth: 12}},
+		{Kind: StepPay, Amount: 10},
+		{Kind: StepDeliver, Item: goods.Item{ID: "a", Cost: 4, Worth: 10}},
+	}
+	return tm, bands, seq
+}
+
+func TestValidateAcceptsHandBuiltPlan(t *testing.T) {
+	tm, bands, seq := validPlan(t)
+	rep, err := Validate(tm, bands, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Payments != 2 || rep.Deliveries != 2 || rep.TotalPaid != 15 {
+		t.Errorf("report counts wrong: %+v", rep)
+	}
+	if rep.MinSlack < 0 {
+		t.Errorf("MinSlack = %v, want ≥ 0", rep.MinSlack)
+	}
+}
+
+func TestValidateViolationDetails(t *testing.T) {
+	tm, bands, _ := validPlan(t)
+	// Paying the full price upfront busts Pmax(∅)+δs = 9.
+	seq := Sequence{
+		{Kind: StepPay, Amount: 15},
+		{Kind: StepDeliver, Item: tm.Bundle.Items[1]},
+		{Kind: StepDeliver, Item: tm.Bundle.Items[0]},
+	}
+	_, err := Validate(tm, bands, seq)
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want *ViolationError", err)
+	}
+	if v.StepIndex != 0 {
+		t.Errorf("violation at step %d, want 0", v.StepIndex)
+	}
+	if v.M != 15 || v.Hi != 9 {
+		t.Errorf("violation detail m=%v hi=%v, want 15, 9", v.M, v.Hi)
+	}
+	if !strings.Contains(v.Error(), "band") {
+		t.Errorf("error text %q should mention the band", v.Error())
+	}
+}
+
+func TestValidateRejectsStructuralProblems(t *testing.T) {
+	tm, bands, good := validPlan(t)
+	itemA := goods.Item{ID: "a", Cost: 4, Worth: 10}
+	itemB := goods.Item{ID: "b", Cost: 6, Worth: 12}
+
+	cases := []struct {
+		name string
+		seq  Sequence
+	}{
+		{"missing delivery", Sequence{
+			{Kind: StepPay, Amount: 5},
+			{Kind: StepDeliver, Item: itemB},
+			{Kind: StepPay, Amount: 10},
+		}},
+		{"double delivery", Sequence{
+			{Kind: StepPay, Amount: 5},
+			{Kind: StepDeliver, Item: itemB},
+			{Kind: StepPay, Amount: 10},
+			{Kind: StepDeliver, Item: itemB},
+		}},
+		{"foreign item", Sequence{
+			{Kind: StepPay, Amount: 5},
+			{Kind: StepDeliver, Item: goods.Item{ID: "zz", Cost: 1, Worth: 1}},
+		}},
+		{"tampered valuation", Sequence{
+			{Kind: StepPay, Amount: 5},
+			{Kind: StepDeliver, Item: goods.Item{ID: "b", Cost: 6, Worth: 99}},
+			{Kind: StepPay, Amount: 10},
+			{Kind: StepDeliver, Item: itemA},
+		}},
+		{"zero payment", Sequence{
+			{Kind: StepPay, Amount: 0},
+			{Kind: StepDeliver, Item: itemB},
+		}},
+		{"negative payment", Sequence{
+			{Kind: StepPay, Amount: -3},
+		}},
+		{"underpaid settlement", Sequence{
+			{Kind: StepPay, Amount: 5},
+			{Kind: StepDeliver, Item: itemB},
+			{Kind: StepPay, Amount: 9},
+			{Kind: StepDeliver, Item: itemA},
+		}},
+		{"unknown step kind", Sequence{{Kind: StepKind(42)}}},
+	}
+	for _, c := range cases {
+		if _, err := Validate(tm, bands, c.seq); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Sanity: the untampered plan still validates.
+	if _, err := Validate(tm, bands, good); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestValidateChecksInitialState(t *testing.T) {
+	// Price far above worth makes even the empty state violate Pmin ≤ 0.
+	b := goods.Bundle{Items: []goods.Item{{ID: "a", Cost: 1, Worth: 2}}}
+	tm := Terms{Bundle: b, Price: 100}
+	_, err := Validate(tm, SafeBands(Stakes{}), Sequence{})
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want violation at initial state", err)
+	}
+	if v.StepIndex != -1 {
+		t.Errorf("violation step = %d, want -1 (initial state)", v.StepIndex)
+	}
+}
+
+func TestValidatePropagatesTermAndBandErrors(t *testing.T) {
+	if _, err := Validate(Terms{}, SafeBands(Stakes{}), nil); err == nil {
+		t.Error("invalid terms accepted")
+	}
+	if _, err := Validate(twoItemTerms(), Bands{}, nil); !errors.Is(err, ErrNoBands) {
+		t.Error("invalid bands accepted")
+	}
+}
+
+func TestReportExposuresMatchHandComputation(t *testing.T) {
+	tm, bands, seq := validPlan(t)
+	rep, err := Validate(tm, bands, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: (0,∅) (5,∅) (5,{b}) (15,{b}) (15,G).
+	// Consumer exposure m−Vc(D): 0, 5, −7, 3, −7 → max 5.
+	// Supplier exposure Vs(D)−m: 0, −5, 1, −9, −5 → max 1.
+	if rep.MaxConsumerExposure != 5 {
+		t.Errorf("MaxConsumerExposure = %v, want 5", rep.MaxConsumerExposure)
+	}
+	if rep.MaxSupplierExposure != 1 {
+		t.Errorf("MaxSupplierExposure = %v, want 1", rep.MaxSupplierExposure)
+	}
+	// Supplier temptation (m−Vs(D))−(P−Vs(G)): max at (15,{b}): 9−5=4 = δs.
+	if rep.MaxSupplierTemptation != 4 {
+		t.Errorf("MaxSupplierTemptation = %v, want 4", rep.MaxSupplierTemptation)
+	}
+	// Consumer temptation (Vc(D)−m)−(Vc(G)−P): max 0 (never tempted).
+	if rep.MaxConsumerTemptation != 0 {
+		t.Errorf("MaxConsumerTemptation = %v, want 0", rep.MaxConsumerTemptation)
+	}
+}
+
+func TestSafePlansKeepTemptationWithinStakes(t *testing.T) {
+	// Property: any plan produced under SafeBands keeps each party's
+	// defection temptation within its stake — that is exactly what "safe"
+	// means, so this is the paper's core invariant.
+	tmpl := twoItemTerms()
+	for delta := goods.Money(4); delta <= 20; delta += 4 {
+		st := Stakes{Supplier: delta / 2, Consumer: delta - delta/2}
+		plan, err := ScheduleSafe(tmpl, st, Options{})
+		if err != nil {
+			t.Fatalf("Δ=%v: %v", delta, err)
+		}
+		if plan.Report.MaxSupplierTemptation > st.Supplier {
+			t.Errorf("Δ=%v: supplier temptation %v > δs %v", delta, plan.Report.MaxSupplierTemptation, st.Supplier)
+		}
+		if plan.Report.MaxConsumerTemptation > st.Consumer {
+			t.Errorf("Δ=%v: consumer temptation %v > δc %v", delta, plan.Report.MaxConsumerTemptation, st.Consumer)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package goods
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Item is one indivisible chunk of the good being exchanged: x in the paper,
+// with Vs(x) = Cost (what producing and delivering x costs the supplier) and
+// Vc(x) = Worth (what x is worth to the consumer). Both valuations are common
+// knowledge between the partners, as assumed in §2 of the paper.
+type Item struct {
+	ID    string
+	Cost  Money // Vs(x): the supplier's cost of delivering x
+	Worth Money // Vc(x): the consumer's value of x
+}
+
+// Surplus is the welfare created by delivering the item: Vc(x) − Vs(x).
+func (it Item) Surplus() Money { return it.Worth - it.Cost }
+
+// Bundle is the set of goods covered by one exchange agreement. Items are
+// identified by ID; valuations are additive across items.
+type Bundle struct {
+	Items []Item
+}
+
+// ErrEmptyBundle is returned when an operation requires at least one item.
+var ErrEmptyBundle = errors.New("goods: empty bundle")
+
+// NewBundle copies items into a fresh Bundle and validates it.
+func NewBundle(items ...Item) (Bundle, error) {
+	b := Bundle{Items: make([]Item, len(items))}
+	copy(b.Items, items)
+	if err := b.Validate(); err != nil {
+		return Bundle{}, err
+	}
+	return b, nil
+}
+
+// Validate checks the structural invariants: at least one item, unique
+// non-empty IDs, non-negative cost and worth. (Negative-surplus items are
+// legal — an item may cost the supplier more than it is worth to the consumer
+// — but negative absolute valuations are not meaningful in the model.)
+func (b Bundle) Validate() error {
+	if len(b.Items) == 0 {
+		return ErrEmptyBundle
+	}
+	seen := make(map[string]bool, len(b.Items))
+	for i, it := range b.Items {
+		if it.ID == "" {
+			return fmt.Errorf("goods: item %d has empty ID", i)
+		}
+		if seen[it.ID] {
+			return fmt.Errorf("goods: duplicate item ID %q", it.ID)
+		}
+		seen[it.ID] = true
+		if it.Cost < 0 {
+			return fmt.Errorf("goods: item %q has negative cost %v", it.ID, it.Cost)
+		}
+		if it.Worth < 0 {
+			return fmt.Errorf("goods: item %q has negative worth %v", it.ID, it.Worth)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of items.
+func (b Bundle) Len() int { return len(b.Items) }
+
+// TotalCost is Vs(G): the supplier's total cost of the whole bundle.
+func (b Bundle) TotalCost() Money {
+	var sum Money
+	for _, it := range b.Items {
+		sum += it.Cost
+	}
+	return sum
+}
+
+// TotalWorth is Vc(G): the consumer's total value of the whole bundle.
+func (b Bundle) TotalWorth() Money {
+	var sum Money
+	for _, it := range b.Items {
+		sum += it.Worth
+	}
+	return sum
+}
+
+// TotalSurplus is the welfare created by completing the exchange:
+// Vc(G) − Vs(G).
+func (b Bundle) TotalSurplus() Money { return b.TotalWorth() - b.TotalCost() }
+
+// Clone returns a deep copy of the bundle.
+func (b Bundle) Clone() Bundle {
+	items := make([]Item, len(b.Items))
+	copy(items, b.Items)
+	return Bundle{Items: items}
+}
+
+// SortedByCost returns a copy of the items ordered by ascending Cost,
+// breaking ties by ID for determinism.
+func (b Bundle) SortedByCost() []Item {
+	items := make([]Item, len(b.Items))
+	copy(items, b.Items)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Cost != items[j].Cost {
+			return items[i].Cost < items[j].Cost
+		}
+		return items[i].ID < items[j].ID
+	})
+	return items
+}
+
+// SortedByWorth returns a copy of the items ordered by ascending Worth,
+// breaking ties by ID for determinism.
+func (b Bundle) SortedByWorth() []Item {
+	items := make([]Item, len(b.Items))
+	copy(items, b.Items)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Worth != items[j].Worth {
+			return items[i].Worth < items[j].Worth
+		}
+		return items[i].ID < items[j].ID
+	})
+	return items
+}
+
+// PriceAt returns the agreed total price P that grants the consumer the given
+// fraction of the total surplus: P = Vs(G) + (1−fraction)·surplus... more
+// precisely, fraction 0 prices at supplier cost (all surplus to the
+// consumer), fraction 1 prices at consumer worth (all surplus to the
+// supplier). The fraction is clamped into [0, 1]. For a negative-surplus
+// bundle the price still interpolates between cost and worth.
+func (b Bundle) PriceAt(supplierShare float64) Money {
+	if supplierShare < 0 {
+		supplierShare = 0
+	}
+	if supplierShare > 1 {
+		supplierShare = 1
+	}
+	cost := b.TotalCost()
+	surplus := b.TotalSurplus()
+	return cost + Money(supplierShare*float64(surplus))
+}

@@ -1,0 +1,314 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/core"
+	"trustcoop/internal/exchange"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/netsim"
+	"trustcoop/internal/reputation"
+	"trustcoop/internal/trust"
+)
+
+// Engine runs marketplace sessions over a simulated network. Create with
+// NewEngine, drive with Run.
+type Engine struct {
+	cfg    Config
+	rng    *rand.Rand
+	sim    *netsim.Simulator
+	net    *netsim.Network
+	ledger *reputation.Ledger
+
+	agents     []*agent.Agent
+	byID       map[trust.PeerID]*agent.Agent
+	nodeOf     map[trust.PeerID]netsim.NodeID
+	estimators map[trust.PeerID]trust.Estimator
+
+	cur    *session
+	result Result
+}
+
+// stepMsg carries one executed exchange step from the acting party to its
+// counterpart.
+type stepMsg struct {
+	sessionID int
+	stepIndex int
+}
+
+// session is the live state of one exchange.
+type session struct {
+	id      int
+	sup     *agent.Agent
+	con     *agent.Agent
+	terms   exchange.Terms
+	steps   exchange.Sequence
+	planned core.PlanResult
+	idx     int // next step to perform
+	m       goods.Money
+	cd, wd  goods.Money
+	done    bool
+}
+
+// NewEngine validates cfg and assembles the marketplace.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		sim:        netsim.NewSimulator(cfg.Seed + 1),
+		ledger:     &reputation.Ledger{},
+		agents:     cfg.Agents,
+		byID:       make(map[trust.PeerID]*agent.Agent, len(cfg.Agents)),
+		nodeOf:     make(map[trust.PeerID]netsim.NodeID, len(cfg.Agents)),
+		estimators: make(map[trust.PeerID]trust.Estimator, len(cfg.Agents)),
+	}
+	e.net = netsim.NewNetwork(e.sim, cfg.Latency)
+	e.net.SetDropRate(cfg.DropRate)
+	e.result.DefectionsBy = make(map[string]int)
+
+	for i, a := range cfg.Agents {
+		if _, dup := e.byID[a.ID]; dup {
+			return nil, fmt.Errorf("market: duplicate agent ID %q", a.ID)
+		}
+		e.byID[a.ID] = a
+		node := netsim.NodeID(i)
+		e.nodeOf[a.ID] = node
+		if cfg.EstimatorOf != nil {
+			e.estimators[a.ID] = cfg.EstimatorOf(a.ID)
+		} else {
+			e.estimators[a.ID] = trust.NewBeta(trust.BetaConfig{})
+		}
+		if err := e.net.Register(node, e.handle); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Ledger exposes the outcome log (for learning-curve analyses).
+func (e *Engine) Ledger() *reputation.Ledger { return e.ledger }
+
+// EstimatorOf exposes an agent's trust view (for accuracy metrics).
+func (e *Engine) EstimatorOf(id trust.PeerID) trust.Estimator { return e.estimators[id] }
+
+// Run executes the configured number of sessions and returns the aggregate
+// result. Sessions run one after another on the virtual clock.
+func (e *Engine) Run() (Result, error) {
+	for i := 0; i < e.cfg.Sessions; i++ {
+		if err := e.runSession(i); err != nil {
+			return Result{}, err
+		}
+	}
+	e.result.Sessions = e.cfg.Sessions
+	e.result.NetStats = e.net.Stats()
+	return e.result, nil
+}
+
+func (e *Engine) runSession(id int) error {
+	sup, con := e.pickPair()
+	bundle, err := goods.Generate(e.cfg.Gen, e.rng)
+	if err != nil {
+		return err
+	}
+	terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(e.cfg.SupplierShare)}
+
+	steps, planned, err := e.plan(sup, con, terms)
+	if err != nil {
+		if errors.Is(err, errNoTrade) {
+			e.result.NoTrade++
+			return nil
+		}
+		return err
+	}
+	if planned.Mode == core.ModeSafe {
+		e.result.ModeSafe++
+	}
+	if e.cfg.Strategy != StrategyNaive {
+		e.result.ConsumerExposure.Add(planned.Plan.Report.MaxConsumerExposure.Float64())
+		e.result.SupplierExposure.Add(planned.Plan.Report.MaxSupplierExposure.Float64())
+	}
+
+	s := &session{id: id, sup: sup, con: con, terms: terms, steps: steps, planned: planned}
+	e.cur = s
+	// Generous timeout: every step needs one message.
+	timeout := netsim.Time(len(steps)+4) * 40 * netsim.Millisecond
+	e.sim.Schedule(timeout, func() {
+		if !s.done {
+			e.finish(s, reputation.Event{Aborted: true})
+		}
+	})
+	e.advance(s)
+	e.sim.Run(0)
+	if !s.done {
+		// Defensive: the timeout above guarantees termination.
+		e.finish(s, reputation.Event{Aborted: true})
+	}
+	return nil
+}
+
+// pickPair draws two distinct agents.
+func (e *Engine) pickPair() (sup, con *agent.Agent) {
+	i := e.rng.Intn(len(e.agents))
+	j := e.rng.Intn(len(e.agents) - 1)
+	if j >= i {
+		j++
+	}
+	return e.agents[i], e.agents[j]
+}
+
+// plan schedules the session according to the strategy.
+func (e *Engine) plan(sup, con *agent.Agent, terms exchange.Terms) (exchange.Sequence, core.PlanResult, error) {
+	switch e.cfg.Strategy {
+	case StrategyNaive:
+		if terms.SupplierGain() < 0 || terms.ConsumerGain() < 0 {
+			return nil, core.PlanResult{}, errNoTrade
+		}
+		return naivePlan(terms), core.PlanResult{Mode: core.ModeTrustAware}, nil
+	case StrategySafeOnly:
+		stakes := exchange.Stakes{Supplier: sup.Stake, Consumer: con.Stake}
+		plan, err := exchange.ScheduleSafe(terms, stakes, e.cfg.Planner.Options)
+		if err != nil {
+			if errors.Is(err, exchange.ErrNoSafeSequence) {
+				return nil, core.PlanResult{}, errNoTrade
+			}
+			return nil, core.PlanResult{}, err
+		}
+		return plan.Steps, core.PlanResult{Plan: plan, Mode: core.ModeSafe}, nil
+	default: // StrategyTrustAware
+		res, err := e.cfg.Planner.PlanExchange(e.participant(sup), e.participant(con), terms)
+		if err != nil {
+			if errors.Is(err, core.ErrNoAgreement) {
+				return nil, core.PlanResult{}, errNoTrade
+			}
+			return nil, core.PlanResult{}, err
+		}
+		return res.Plan.Steps, res, nil
+	}
+}
+
+func (e *Engine) participant(a *agent.Agent) core.Participant {
+	return core.Participant{ID: a.ID, Estimator: e.estimators[a.ID], Policy: a.Policy, Stake: a.Stake}
+}
+
+// advance lets the actor of the next step decide, perform, and transmit it.
+func (e *Engine) advance(s *session) {
+	if s.done {
+		return
+	}
+	if s.idx >= len(s.steps) {
+		e.finish(s, reputation.Event{Completed: true})
+		return
+	}
+	step := s.steps[s.idx]
+	actor, role := s.con, agent.RoleConsumer
+	if step.Kind == exchange.StepDeliver {
+		actor, role = s.sup, agent.RoleSupplier
+	}
+	if actor.Behavior.Defect(e.defectContext(s, role)) {
+		e.finish(s, reputation.Event{DefectedBy: actor.ID})
+		return
+	}
+	// Perform the step locally and notify the counterpart; loss of the
+	// notification stalls the session into the timeout.
+	switch step.Kind {
+	case exchange.StepPay:
+		s.m += step.Amount
+	case exchange.StepDeliver:
+		s.cd += step.Item.Cost
+		s.wd += step.Item.Worth
+	}
+	s.idx++
+	from, to := e.nodeOf[actor.ID], e.nodeOf[s.sup.ID]
+	if role == agent.RoleSupplier {
+		to = e.nodeOf[s.con.ID]
+	}
+	e.net.Send(from, to, stepMsg{sessionID: s.id, stepIndex: s.idx - 1})
+}
+
+// handle receives a step notification at the counterpart and hands the turn
+// back to the engine.
+func (e *Engine) handle(_ netsim.NodeID, msg netsim.Message) {
+	m, ok := msg.(stepMsg)
+	if !ok {
+		return
+	}
+	s := e.cur
+	if s == nil || s.id != m.sessionID || s.done {
+		return
+	}
+	e.advance(s)
+}
+
+// defectContext computes the temptation the acting party faces right now.
+func (e *Engine) defectContext(s *session, role agent.Role) agent.DefectContext {
+	var defectionGain, completionGain goods.Money
+	if role == agent.RoleSupplier {
+		completionGain = s.terms.SupplierGain()
+		defectionGain = (s.m - s.cd) - completionGain
+	} else {
+		completionGain = s.terms.ConsumerGain()
+		defectionGain = (s.wd - s.m) - completionGain
+	}
+	actor := s.con
+	if role == agent.RoleSupplier {
+		actor = s.sup
+	}
+	return agent.DefectContext{
+		Role:           role,
+		DefectionGain:  defectionGain,
+		CompletionGain: completionGain,
+		Stake:          actor.Stake,
+		Progress:       float64(s.idx) / float64(len(s.steps)),
+		Rng:            e.rng,
+	}
+}
+
+// finish settles the session: accounting, ledger, trust feedback.
+func (e *Engine) finish(s *session, ev reputation.Event) {
+	if s.done {
+		return
+	}
+	s.done = true
+	ev.Supplier = s.sup.ID
+	ev.Consumer = s.con.ID
+	ev.Round = s.id
+	ev.SupplierLoss = (s.cd - s.m).ClampNonNeg()
+	ev.ConsumerLoss = (s.m - s.wd).ClampNonNeg()
+
+	switch {
+	case ev.Completed:
+		e.result.Completed++
+		e.result.TradeVolume += s.m
+	case ev.Aborted:
+		e.result.Aborted++
+	default:
+		e.result.Defected++
+		defector := e.byID[ev.DefectedBy]
+		e.result.DefectionsBy[defector.Behavior.Name()]++
+		e.result.RealizedConsumerLoss.Add(ev.ConsumerLoss.Float64())
+		e.result.RealizedSupplierLoss.Add(ev.SupplierLoss.Float64())
+	}
+	e.result.Welfare += s.wd - s.cd
+	if _, isHonest := s.sup.Behavior.(agent.Honest); isHonest && ev.SupplierLoss > 0 {
+		e.result.HonestVictimLoss += ev.SupplierLoss
+	}
+	if _, isHonest := s.con.Behavior.(agent.Honest); isHonest && ev.ConsumerLoss > 0 {
+		e.result.HonestVictimLoss += ev.ConsumerLoss
+	}
+
+	e.ledger.Append(ev)
+	reputation.Feed(ev,
+		func(id trust.PeerID) trust.Estimator { return e.estimators[id] },
+		func(id trust.PeerID) bool {
+			a := e.byID[id]
+			return a != nil && a.LiesAsWitness
+		})
+	e.cur = nil
+}

@@ -1,0 +1,167 @@
+// Package market is the evaluation substrate: a marketplace of agents that
+// repeatedly pair up, agree on terms, schedule an exchange with a chosen
+// strategy, and execute it step by step over the simulated network — with
+// live defection decisions, message loss, reputation feedback and full
+// accounting. Every experiment about completion rates, welfare and losses
+// runs on this engine.
+package market
+
+import (
+	"errors"
+	"fmt"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/core"
+	"trustcoop/internal/exchange"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/netsim"
+	"trustcoop/internal/stats"
+	"trustcoop/internal/trust"
+)
+
+// Strategy selects how sessions schedule their exchanges.
+type Strategy int
+
+// The scheduling strategies compared by the experiments.
+const (
+	// StrategyNaive pays the whole price upfront, then delivers — the
+	// no-mechanism baseline (maximal consumer exposure).
+	StrategyNaive Strategy = iota + 1
+	// StrategySafeOnly trades only when a fully safe sequence exists under
+	// the parties' stakes.
+	StrategySafeOnly
+	// StrategyTrustAware is the paper's mechanism: safe when possible,
+	// bounded-exposure otherwise.
+	StrategyTrustAware
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategySafeOnly:
+		return "safe-only"
+	case StrategyTrustAware:
+		return "trust-aware"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterises a marketplace run.
+type Config struct {
+	// Seed drives all randomness (pairing, bundles, behaviours, network).
+	Seed int64
+	// Sessions is the number of exchange sessions to run.
+	Sessions int
+	// Agents is the population; at least two.
+	Agents []*agent.Agent
+	// EstimatorOf supplies each agent's trust view. nil gives every agent
+	// a private Beta estimator.
+	EstimatorOf func(id trust.PeerID) trust.Estimator
+	// Gen configures bundle generation; zero value means
+	// goods.DefaultGenConfig.
+	Gen goods.GenConfig
+	// SupplierShare is the surplus share priced to the supplier; 0 means 0.5.
+	SupplierShare float64
+	// Strategy selects the scheduler; 0 means StrategyTrustAware.
+	Strategy Strategy
+	// DropRate is the per-message loss probability of the network.
+	DropRate float64
+	// Latency is the per-message latency model; nil means
+	// UniformLatency{1, 10}.
+	Latency netsim.LatencyModel
+	// Planner tunes trust-aware planning.
+	Planner core.Planner
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Agents) < 2 {
+		return c, fmt.Errorf("market: need at least 2 agents, have %d", len(c.Agents))
+	}
+	if c.Sessions <= 0 {
+		return c, fmt.Errorf("market: sessions must be positive, have %d", c.Sessions)
+	}
+	if c.Gen.Items == 0 {
+		c.Gen = goods.DefaultGenConfig()
+	}
+	if c.SupplierShare == 0 {
+		c.SupplierShare = 0.5
+	}
+	if c.Strategy == 0 {
+		c.Strategy = StrategyTrustAware
+	}
+	if c.Latency == nil {
+		c.Latency = netsim.UniformLatency{Min: 1, Max: 10}
+	}
+	c.Planner.RequireBeneficial = true
+	return c, nil
+}
+
+// Result aggregates a run.
+type Result struct {
+	Sessions  int // sessions attempted
+	NoTrade   int // planning found no acceptable schedule
+	Completed int // fully settled exchanges
+	Defected  int // a party walked away
+	Aborted   int // killed by message loss
+
+	// Welfare is the realised surplus: consumer value received minus
+	// supplier cost sunk, summed over all sessions.
+	Welfare goods.Money
+	// TradeVolume is the total money settled.
+	TradeVolume goods.Money
+	// HonestVictimLoss sums losses suffered by honest-behaviour agents.
+	HonestVictimLoss goods.Money
+
+	// ConsumerExposure and SupplierExposure sample the planned worst-case
+	// exposures of executed sessions.
+	ConsumerExposure stats.Sample
+	SupplierExposure stats.Sample
+	// RealizedConsumerLoss and RealizedSupplierLoss sample the losses of
+	// defected sessions.
+	RealizedConsumerLoss stats.Sample
+	RealizedSupplierLoss stats.Sample
+	// ModeSafe counts sessions scheduled fully safely (trust-aware strategy
+	// only).
+	ModeSafe int
+
+	// DefectionsBy counts defections per behaviour name.
+	DefectionsBy map[string]int
+
+	// NetStats is the network activity of the run.
+	NetStats netsim.Stats
+}
+
+// CompletionRate is Completed over trades actually attempted (excluding
+// NoTrade and network aborts).
+func (r Result) CompletionRate() float64 {
+	attempted := r.Completed + r.Defected
+	if attempted == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(attempted)
+}
+
+// TradeRate is the fraction of sessions where planning produced a schedule.
+func (r Result) TradeRate() float64 {
+	if r.Sessions == 0 {
+		return 0
+	}
+	return float64(r.Sessions-r.NoTrade) / float64(r.Sessions)
+}
+
+// naivePlan is the no-mechanism baseline: pay everything, then deliver.
+func naivePlan(terms exchange.Terms) exchange.Sequence {
+	seq := exchange.Sequence{{Kind: exchange.StepPay, Amount: terms.Price}}
+	if terms.Price == 0 {
+		seq = nil
+	}
+	for _, it := range terms.Bundle.Items {
+		seq = append(seq, exchange.Step{Kind: exchange.StepDeliver, Item: it})
+	}
+	return seq
+}
+
+var errNoTrade = errors.New("market: no trade")

@@ -1,0 +1,156 @@
+// Package chans is the concurrent counterpart of netsim: a goroutine-based
+// message router with per-node mailboxes, used by the runnable examples to
+// demonstrate the system under real concurrency. Experiments use netsim
+// instead, for determinism.
+package chans
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Addr names a node on the router.
+type Addr string
+
+// Envelope is a routed message.
+type Envelope struct {
+	From    Addr
+	Payload any
+}
+
+// Errors returned by Send.
+var (
+	// ErrUnknownAddr reports an unregistered destination.
+	ErrUnknownAddr = errors.New("chans: unknown address")
+	// ErrMailboxFull reports backpressure: the destination mailbox is full.
+	ErrMailboxFull = errors.New("chans: mailbox full")
+	// ErrClosed reports a router that has been shut down.
+	ErrClosed = errors.New("chans: router closed")
+)
+
+// SendFunc lets a node send messages; it matches Router.Send with the
+// sender's address bound.
+type SendFunc func(to Addr, payload any) error
+
+// Node is the body of a spawned node: it consumes its inbox until the
+// context is cancelled or the inbox closes.
+type Node func(ctx context.Context, inbox <-chan Envelope, send SendFunc)
+
+// Router connects spawned nodes with buffered mailboxes. Mailboxes are
+// bounded: the size models the finite queue of a real endpoint, and Send
+// reports ErrMailboxFull instead of blocking so a slow node exerts explicit
+// backpressure rather than deadlocking the swarm.
+type Router struct {
+	bufSize int
+
+	mu     sync.Mutex
+	boxes  map[Addr]chan Envelope
+	closed bool
+
+	cancel context.CancelFunc
+	ctx    context.Context
+	wg     sync.WaitGroup
+}
+
+// NewRouter returns a router whose mailboxes hold bufSize messages
+// (minimum 1).
+func NewRouter(bufSize int) *Router {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Router{
+		bufSize: bufSize,
+		boxes:   make(map[Addr]chan Envelope),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+}
+
+// Spawn registers addr and starts node in its own goroutine. It returns an
+// error for duplicate addresses or a closed router.
+func (r *Router) Spawn(addr Addr, node Node) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := r.boxes[addr]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("chans: address %q already spawned", addr)
+	}
+	box := make(chan Envelope, r.bufSize)
+	r.boxes[addr] = box
+	r.mu.Unlock()
+
+	send := func(to Addr, payload any) error { return r.send(addr, to, payload) }
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		node(r.ctx, box, send)
+	}()
+	return nil
+}
+
+// Send delivers a payload from from to to, without blocking.
+func (r *Router) Send(from, to Addr, payload any) error { return r.send(from, to, payload) }
+
+func (r *Router) send(from, to Addr, payload any) error {
+	// The lock is held across the non-blocking send so Shutdown cannot close
+	// the mailbox in between; the select never blocks, so the critical
+	// section stays short.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	box, ok := r.boxes[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	select {
+	case box <- Envelope{From: from, Payload: payload}:
+		return nil
+	default:
+		return fmt.Errorf("%w: %q", ErrMailboxFull, to)
+	}
+}
+
+// Addrs lists the registered addresses (unordered).
+func (r *Router) Addrs() []Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Addr, 0, len(r.boxes))
+	for a := range r.boxes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Shutdown cancels every node's context, closes the mailboxes, and waits for
+// all node goroutines to exit (or ctx to expire). It is safe to call twice.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.cancel()
+		for _, box := range r.boxes {
+			close(box)
+		}
+	}
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("chans: shutdown: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,197 @@
+package chans
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := NewRouter(8)
+	defer func() {
+		if err := r.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	got := make(chan string, 1)
+	if err := r.Spawn("echo", func(ctx context.Context, in <-chan Envelope, send SendFunc) {
+		for env := range in {
+			if err := send(env.From, "echo:"+env.Payload.(string)); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Spawn("caller", func(ctx context.Context, in <-chan Envelope, send SendFunc) {
+		if err := send("echo", "hi"); err != nil {
+			t.Error(err)
+			return
+		}
+		select {
+		case env := <-in:
+			got <- env.Payload.(string)
+		case <-ctx.Done():
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case v := <-got:
+		if v != "echo:hi" {
+			t.Errorf("got %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for echo")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	r := NewRouter(1)
+	if err := r.Spawn("sleepy", func(ctx context.Context, in <-chan Envelope, send SendFunc) {
+		<-ctx.Done() // never reads its inbox
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.Send("x", "nobody", 1); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("err = %v, want ErrUnknownAddr", err)
+	}
+	if err := r.Send("x", "sleepy", 1); err != nil {
+		t.Fatalf("first send should fit the buffer: %v", err)
+	}
+	if err := r.Send("x", "sleepy", 2); !errors.Is(err, ErrMailboxFull) {
+		t.Errorf("err = %v, want ErrMailboxFull", err)
+	}
+
+	if err := r.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send("x", "sleepy", 3); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDuplicateSpawn(t *testing.T) {
+	r := NewRouter(1)
+	defer r.Shutdown(context.Background())
+	node := func(ctx context.Context, in <-chan Envelope, send SendFunc) { <-ctx.Done() }
+	if err := r.Spawn("a", node); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Spawn("a", node); err == nil {
+		t.Error("duplicate spawn accepted")
+	}
+}
+
+func TestShutdownWaitsForNodes(t *testing.T) {
+	r := NewRouter(4)
+	var exited sync.WaitGroup
+	exited.Add(3)
+	for _, a := range []Addr{"a", "b", "c"} {
+		if err := r.Spawn(a, func(ctx context.Context, in <-chan Envelope, send SendFunc) {
+			defer exited.Done()
+			for {
+				select {
+				case _, ok := <-in:
+					if !ok {
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { exited.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("nodes still running after Shutdown returned")
+	}
+	// Second shutdown is a no-op.
+	if err := r.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+	if err := r.Spawn("late", func(ctx context.Context, in <-chan Envelope, send SendFunc) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("spawn after shutdown = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSendersNoLostCount(t *testing.T) {
+	r := NewRouter(1024)
+	defer r.Shutdown(context.Background())
+
+	var mu sync.Mutex
+	received := 0
+	readyCh := make(chan struct{})
+	if err := r.Spawn("sink", func(ctx context.Context, in <-chan Envelope, send SendFunc) {
+		close(readyCh)
+		for range in {
+			mu.Lock()
+			received++
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-readyCh
+
+	const senders, each = 8, 100
+	var wg sync.WaitGroup
+	var sendErrs sync.Map
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := r.Send("x", "sink", i); err != nil {
+					sendErrs.Store(g*1000+i, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sendErrs.Range(func(k, v any) bool {
+		t.Fatalf("send error: %v", v)
+		return false
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := received
+		mu.Unlock()
+		if n == senders*each {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d, want %d", n, senders*each)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	r := NewRouter(1)
+	defer r.Shutdown(context.Background())
+	node := func(ctx context.Context, in <-chan Envelope, send SendFunc) { <-ctx.Done() }
+	for _, a := range []Addr{"p", "q"} {
+		if err := r.Spawn(a, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrs := r.Addrs()
+	if len(addrs) != 2 {
+		t.Errorf("Addrs = %v", addrs)
+	}
+}

@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeID addresses a simulated node.
+type NodeID int
+
+// Message is an opaque payload; nodes agree on concrete types out of band.
+type Message any
+
+// Handler consumes a delivered message.
+type Handler func(from NodeID, msg Message)
+
+// LatencyModel draws per-message delivery delays.
+type LatencyModel interface {
+	Latency(from, to NodeID, rng *rand.Rand) Time
+}
+
+// UniformLatency draws uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max Time
+}
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(_, _ NodeID, rng *rand.Rand) Time {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + Time(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// ConstLatency delivers every message after a fixed delay.
+type ConstLatency Time
+
+// Latency implements LatencyModel.
+func (c ConstLatency) Latency(_, _ NodeID, _ *rand.Rand) Time { return Time(c) }
+
+// Stats counts network activity.
+type Stats struct {
+	Sent        int // Send calls
+	Delivered   int // messages that reached their handler
+	Dropped     int // lost to the drop rate
+	Partitioned int // blocked by a partition
+	NoRoute     int // destination not registered
+}
+
+// Network delivers messages between registered nodes over a Simulator with
+// configurable latency, random loss and partitions. Like the Simulator it is
+// single-threaded.
+type Network struct {
+	sim      *Simulator
+	latency  LatencyModel
+	handlers map[NodeID]Handler
+	groups   map[NodeID]int // partition group; absent means group 0
+	dropRate float64
+	stats    Stats
+}
+
+// NewNetwork returns a network on sim with the given latency model
+// (ConstLatency(0) gives instantaneous delivery).
+func NewNetwork(sim *Simulator, latency LatencyModel) *Network {
+	return &Network{
+		sim:      sim,
+		latency:  latency,
+		handlers: make(map[NodeID]Handler),
+		groups:   make(map[NodeID]int),
+	}
+}
+
+// Register installs the handler for id. Registering an id twice is an error.
+func (n *Network) Register(id NodeID, h Handler) error {
+	if _, dup := n.handlers[id]; dup {
+		return fmt.Errorf("netsim: node %d already registered", id)
+	}
+	if h == nil {
+		return fmt.Errorf("netsim: node %d: nil handler", id)
+	}
+	n.handlers[id] = h
+	return nil
+}
+
+// SetDropRate makes every message independently lost with probability r
+// (clamped into [0, 1]).
+func (n *Network) SetDropRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	n.dropRate = r
+}
+
+// Partition assigns nodes to groups; messages cross groups only if both
+// endpoints share a group. Nodes not mentioned stay in group 0.
+func (n *Network) Partition(groups map[NodeID]int) {
+	n.groups = make(map[NodeID]int, len(groups))
+	for id, g := range groups {
+		n.groups[id] = g
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.groups = make(map[NodeID]int) }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send queues msg for delivery from from to to after the model latency.
+// Undeliverable messages (unknown destination, partition, random loss) are
+// counted and silently discarded — like the real network the model stands
+// in for, the sender learns nothing.
+func (n *Network) Send(from, to NodeID, msg Message) {
+	n.stats.Sent++
+	h, ok := n.handlers[to]
+	if !ok {
+		n.stats.NoRoute++
+		return
+	}
+	if n.groups[from] != n.groups[to] {
+		n.stats.Partitioned++
+		return
+	}
+	if n.dropRate > 0 && n.sim.Rand().Float64() < n.dropRate {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.latency.Latency(from, to, n.sim.Rand())
+	n.sim.Schedule(delay, func() {
+		n.stats.Delivered++
+		h(from, msg)
+	})
+}
+
+// Sim exposes the underlying simulator (for timeouts scheduled by nodes).
+func (n *Network) Sim() *Simulator { return n.sim }

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pingPongNetwork(t *testing.T, latency LatencyModel) (*Simulator, *Network, *[]string) {
+	t.Helper()
+	sim := NewSimulator(7)
+	net := NewNetwork(sim, latency)
+	var log []string
+	if err := net.Register(1, func(from NodeID, msg Message) {
+		log = append(log, "node1:"+msg.(string))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(2, func(from NodeID, msg Message) {
+		log = append(log, "node2:"+msg.(string))
+		net.Send(2, 1, "pong")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sim, net, &log
+}
+
+func TestSendDeliver(t *testing.T) {
+	sim, net, log := pingPongNetwork(t, ConstLatency(5))
+	net.Send(1, 2, "ping")
+	sim.Run(0)
+	if len(*log) != 2 || (*log)[0] != "node2:ping" || (*log)[1] != "node1:pong" {
+		t.Errorf("log = %v", *log)
+	}
+	if sim.Now() != 10 {
+		t.Errorf("round trip took %d ticks, want 10", sim.Now())
+	}
+	st := net.Stats()
+	if st.Sent != 2 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	sim, net, _ := pingPongNetwork(t, ConstLatency(1))
+	net.Send(1, 99, "void")
+	sim.Run(0)
+	if st := net.Stats(); st.NoRoute != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateAndNilRegistration(t *testing.T) {
+	sim := NewSimulator(1)
+	net := NewNetwork(sim, ConstLatency(0))
+	if err := net.Register(1, func(NodeID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(1, func(NodeID, Message) {}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := net.Register(2, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	sim := NewSimulator(42)
+	net := NewNetwork(sim, ConstLatency(0))
+	received := 0
+	if err := net.Register(1, func(NodeID, Message) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.SetDropRate(0.3)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		net.Send(2, 1, i)
+	}
+	sim.Run(0)
+	st := net.Stats()
+	if st.Dropped+st.Delivered != total {
+		t.Fatalf("dropped %d + delivered %d != %d", st.Dropped, st.Delivered, total)
+	}
+	rate := float64(st.Dropped) / total
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("empirical drop rate %g, want ≈ 0.3", rate)
+	}
+	// Clamping.
+	net.SetDropRate(-1)
+	if net.dropRate != 0 {
+		t.Error("negative rate not clamped")
+	}
+	net.SetDropRate(2)
+	if net.dropRate != 1 {
+		t.Error("rate > 1 not clamped")
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	sim := NewSimulator(1)
+	net := NewNetwork(sim, ConstLatency(0))
+	got := 0
+	if err := net.Register(1, func(NodeID, Message) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition(map[NodeID]int{1: 1, 2: 2})
+	net.Send(2, 1, "blocked")
+	sim.Run(0)
+	if got != 0 {
+		t.Fatal("message crossed partition")
+	}
+	if st := net.Stats(); st.Partitioned != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	net.Heal()
+	net.Send(2, 1, "through")
+	sim.Run(0)
+	if got != 1 {
+		t.Error("message lost after heal")
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u := UniformLatency{Min: 3, Max: 9}
+	for i := 0; i < 1000; i++ {
+		l := u.Latency(0, 1, rng)
+		if l < 3 || l > 9 {
+			t.Fatalf("latency %d outside [3, 9]", l)
+		}
+	}
+	// Degenerate range.
+	d := UniformLatency{Min: 4, Max: 4}
+	if l := d.Latency(0, 1, rng); l != 4 {
+		t.Errorf("degenerate latency = %d, want 4", l)
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() []int {
+		sim := NewSimulator(1234)
+		net := NewNetwork(sim, UniformLatency{Min: 1, Max: 20})
+		net.SetDropRate(0.2)
+		var got []int
+		for id := NodeID(0); id < 5; id++ {
+			if err := net.Register(id, func(_ NodeID, msg Message) { got = append(got, msg.(int)) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			net.Send(NodeID(i%5), NodeID((i+1)%5), i)
+		}
+		sim.Run(0)
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package netsim is a deterministic discrete-event network simulator: a
+// virtual clock, an event queue, and a message-passing network with
+// configurable latency, loss and partitions. Experiments run on it instead
+// of real goroutines and sockets so that every run is exactly reproducible
+// from a seed; the chans subpackage provides a real concurrent transport
+// with the same shape for the runnable examples.
+//
+// A Simulator (and the Network on top of it) is single-threaded by design:
+// events run one at a time in timestamp order. None of the types in this
+// package are safe for concurrent use.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual time in abstract ticks (the experiments interpret a tick
+// as a millisecond).
+type Time int64
+
+// Millisecond is the canonical tick interpretation used by the experiments.
+const Millisecond Time = 1
+
+// event is a scheduled callback. seq breaks timestamp ties FIFO so execution
+// order is fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewSimulator returns an empty simulator whose randomness derives entirely
+// from seed.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand exposes the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule queues fn to run after delay (clamped to ≥ 0) of virtual time.
+func (s *Simulator) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event, advancing the clock to its timestamp. It
+// reports whether an event was run.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or maxEvents have run
+// (maxEvents ≤ 0 means no limit). It returns the number of events executed.
+func (s *Simulator) Run(maxEvents int) int {
+	n := 0
+	for maxEvents <= 0 || n < maxEvents {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps ≤ deadline and advances the clock
+// to the deadline. It returns the number of events executed.
+func (s *Simulator) RunUntil(deadline Time) int {
+	n := 0
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	if n := s.Run(0); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestTiesBreakFIFO(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator(1)
+	var hits []Time
+	s.Schedule(10, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(5, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run(0)
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewSimulator(1)
+	s.Schedule(10, func() {
+		s.Schedule(-100, func() {
+			if s.Now() != 10 {
+				t.Errorf("negative delay ran at %d, want 10", s.Now())
+			}
+		})
+	})
+	s.Run(0)
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := NewSimulator(1)
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	if n := s.Run(3); n != 3 {
+		t.Errorf("Run(3) = %d", n)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator(1)
+	var hits int
+	for _, d := range []Time{5, 10, 15, 20} {
+		s.Schedule(d, func() { hits++ })
+	}
+	if n := s.RunUntil(12); n != 2 {
+		t.Errorf("RunUntil ran %d, want 2", n)
+	}
+	if s.Now() != 12 {
+		t.Errorf("Now = %d, want 12 (clock advances to deadline)", s.Now())
+	}
+	s.Run(0)
+	if hits != 4 {
+		t.Errorf("total hits = %d, want 4", hits)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := NewSimulator(1)
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		s := NewSimulator(99)
+		var stamps []Time
+		var tick func()
+		tick = func() {
+			stamps = append(stamps, s.Now())
+			if len(stamps) < 50 {
+				s.Schedule(Time(1+s.Rand().Intn(10)), tick)
+			}
+		}
+		s.Schedule(0, tick)
+		s.Run(0)
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package pgrid
+
+import (
+	"fmt"
+
+	"trustcoop/internal/netsim"
+)
+
+// Async runs grid queries as messages on a netsim network, so experiments
+// can measure wall-clock (virtual) latency and message loss alongside hop
+// counts. Each peer is registered as the node with its own index.
+type Async struct {
+	grid *Grid
+	net  *netsim.Network
+
+	nextID  int
+	pending map[int]func(values []string, err error)
+}
+
+type queryMsg struct {
+	id     int
+	key    string
+	origin netsim.NodeID
+	hops   int
+}
+
+type answerMsg struct {
+	id     int
+	values []string
+}
+
+// NewAsync registers every grid peer on the network and returns the
+// asynchronous query front-end. Register errors (duplicate node ids) are
+// returned verbatim.
+func NewAsync(g *Grid, net *netsim.Network) (*Async, error) {
+	a := &Async{grid: g, net: net, pending: make(map[int]func([]string, error))}
+	for i := range g.peers {
+		idx := i
+		if err := net.Register(netsim.NodeID(idx), func(from netsim.NodeID, msg netsim.Message) {
+			a.handle(idx, msg)
+		}); err != nil {
+			return nil, fmt.Errorf("pgrid: async: %w", err)
+		}
+	}
+	return a, nil
+}
+
+// Query starts an asynchronous lookup from the given peer and calls done
+// exactly once: with the reached replica's answer, or with ErrUnreachable
+// after the timeout expires (covering both lost messages and missing
+// references).
+func (a *Async) Query(start int, key string, timeout netsim.Time, done func(values []string, err error)) {
+	if err := a.grid.checkKey(key); err != nil {
+		done(nil, err)
+		return
+	}
+	a.nextID++
+	id := a.nextID
+	a.pending[id] = done
+	a.net.Sim().Schedule(timeout, func() {
+		if cb, ok := a.pending[id]; ok {
+			delete(a.pending, id)
+			cb(nil, fmt.Errorf("query %s: timeout: %w", key, ErrUnreachable))
+		}
+	})
+	origin := netsim.NodeID(start)
+	// Hand the query to the start peer through the network as well, so the
+	// first hop pays latency like every other.
+	a.net.Send(origin, origin, queryMsg{id: id, key: key, origin: origin})
+}
+
+// handle processes grid protocol messages at peer idx.
+func (a *Async) handle(idx int, msg netsim.Message) {
+	switch m := msg.(type) {
+	case queryMsg:
+		p := a.grid.peers[idx]
+		if hasPrefix(m.key, p.Path) {
+			vals := cloneValues(p.store[m.key])
+			if p.Malicious {
+				vals = a.grid.cfg.Corrupt(m.key, vals, a.net.Sim().Rand())
+			}
+			a.net.Send(netsim.NodeID(idx), m.origin, answerMsg{id: m.id, values: vals})
+			return
+		}
+		l := commonPrefixLen(p.Path, m.key)
+		if l >= len(p.refs) || len(p.refs[l]) == 0 {
+			return // dead end: the origin's timeout will fire
+		}
+		refs := p.refs[l]
+		next := refs[a.net.Sim().Rand().Intn(len(refs))]
+		m.hops++
+		a.net.Send(netsim.NodeID(idx), netsim.NodeID(next), m)
+	case answerMsg:
+		if cb, ok := a.pending[m.id]; ok {
+			delete(a.pending, m.id)
+			cb(m.values, nil)
+		}
+	}
+}
+
+func hasPrefix(key, prefix string) bool {
+	return len(prefix) <= len(key) && key[:len(prefix)] == prefix
+}

@@ -1,0 +1,101 @@
+package pgrid
+
+import (
+	"errors"
+	"testing"
+
+	"trustcoop/internal/netsim"
+)
+
+func asyncSetup(t *testing.T, dropRate float64) (*netsim.Simulator, *Async, *Grid) {
+	t.Helper()
+	g, err := New(Config{Peers: 16, Depth: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.NewSimulator(5)
+	net := netsim.NewNetwork(sim, netsim.UniformLatency{Min: 1, Max: 10})
+	net.SetDropRate(dropRate)
+	a, err := NewAsync(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, a, g
+}
+
+func TestAsyncQueryDelivers(t *testing.T) {
+	sim, a, g := asyncSetup(t, 0)
+	key := g.KeyFor("song")
+	if err := g.Insert(key, "blob"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	var gotErr error
+	calls := 0
+	a.Query(0, key, 1000, func(values []string, err error) {
+		calls++
+		got, gotErr = values, err
+	})
+	sim.Run(0)
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1", calls)
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if len(got) != 1 || got[0] != "blob" {
+		t.Errorf("values = %v", got)
+	}
+	if sim.Now() == 0 {
+		t.Error("query paid no latency")
+	}
+}
+
+func TestAsyncQueryTimeoutOnLoss(t *testing.T) {
+	sim, a, g := asyncSetup(t, 1) // everything dropped
+	key := g.KeyFor("song")
+	var gotErr error
+	calls := 0
+	a.Query(0, key, 50, func(values []string, err error) {
+		calls++
+		gotErr = err
+	})
+	sim.Run(0)
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1 (timeout)", calls)
+	}
+	if !errors.Is(gotErr, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", gotErr)
+	}
+}
+
+func TestAsyncBadKey(t *testing.T) {
+	_, a, _ := asyncSetup(t, 0)
+	called := false
+	a.Query(0, "bad-key", 100, func(values []string, err error) {
+		called = true
+		if err == nil {
+			t.Error("bad key accepted")
+		}
+	})
+	if !called {
+		t.Error("callback must run synchronously for invalid keys")
+	}
+}
+
+func TestAsyncManyQueriesResolveOnce(t *testing.T) {
+	sim, a, g := asyncSetup(t, 0.1)
+	key := g.KeyFor("k")
+	if err := g.Insert(key, "v"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	resolved := 0
+	for i := 0; i < n; i++ {
+		a.Query(i%16, key, 500, func([]string, error) { resolved++ })
+	}
+	sim.Run(0)
+	if resolved != n {
+		t.Fatalf("resolved %d of %d queries (each must resolve exactly once)", resolved, n)
+	}
+}

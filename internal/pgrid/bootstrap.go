@@ -1,0 +1,122 @@
+package pgrid
+
+// bootstrap runs the randomized pairwise exchange protocol of the original
+// P-Grid paper: peers start with empty paths (responsible for everything)
+// and repeatedly meet at random. Meetings either split a shared prefix (the
+// two peers specialise to sibling subtrees), specialise the shallower peer
+// against the deeper one, or — when the peers already sit in different
+// subtrees — exchange routing references. Paths only ever extend, so
+// established references stay valid.
+func (g *Grid) bootstrap() {
+	d := g.cfg.Depth
+	for _, p := range g.peers {
+		p.refs = make([][]int, d)
+	}
+	for m := 0; m < g.cfg.BootstrapMeetings; m++ {
+		i := g.rng.Intn(len(g.peers))
+		j := g.rng.Intn(len(g.peers))
+		if i == j {
+			continue
+		}
+		g.meet(i, j)
+	}
+}
+
+func (g *Grid) meet(i, j int) {
+	p, q := g.peers[i], g.peers[j]
+	d := g.cfg.Depth
+	l := commonPrefixLen(p.Path, q.Path)
+	switch {
+	case l == len(p.Path) && l == len(q.Path):
+		// Identical paths: split into sibling subtrees if depth remains.
+		if l < d {
+			p.Path += "0"
+			q.Path += "1"
+			g.addRef(p, l, j)
+			g.addRef(q, l, i)
+		}
+	case l == len(p.Path):
+		// p's path prefixes q's: p specialises to the complement of q's
+		// next bit, becoming q's sibling at level l.
+		if l < d {
+			p.Path += flip(q.Path[l])
+			g.addRef(p, l, j)
+			g.addRef(q, l, i)
+		}
+	case l == len(q.Path):
+		if l < d {
+			q.Path += flip(p.Path[l])
+			g.addRef(q, l, i)
+			g.addRef(p, l, j)
+		}
+	default:
+		// Different subtrees: mutual references at the divergence level,
+		// plus adoption of each other's shallower references — the
+		// reference-exchange step of the protocol.
+		g.addRef(p, l, j)
+		g.addRef(q, l, i)
+		g.adoptRefs(p, q, l)
+		g.adoptRefs(q, p, l)
+	}
+}
+
+// addRef records target as a routing reference of p at the given level,
+// deduplicated and capped at RefsPerLevel.
+func (g *Grid) addRef(p *Peer, level, target int) {
+	if level >= len(p.refs) {
+		return
+	}
+	refs := p.refs[level]
+	for _, r := range refs {
+		if r == target {
+			return
+		}
+	}
+	if len(refs) >= g.cfg.RefsPerLevel {
+		// Replace a random existing reference so tables keep mixing.
+		refs[g.rng.Intn(len(refs))] = target
+		return
+	}
+	p.refs[level] = append(refs, target)
+}
+
+// adoptRefs copies q's references for the levels where p and q share a
+// prefix (levels strictly below l), which is what makes sparse random
+// meetings converge to complete tables.
+func (g *Grid) adoptRefs(p, q *Peer, l int) {
+	for lvl := 0; lvl < l && lvl < len(q.refs); lvl++ {
+		for _, r := range q.refs[lvl] {
+			if r == p.Index {
+				continue
+			}
+			// Only adopt references that are valid for p too: the referenced
+			// peer must diverge from p exactly at lvl.
+			rp := g.peers[r]
+			if commonPrefixLen(rp.Path, p.Path) == lvl && len(rp.Path) > lvl {
+				g.addRef(p, lvl, r)
+			}
+		}
+	}
+}
+
+// BootstrapQuality summarises how complete a bootstrapped grid is: the
+// fraction of peers with a full path and the fraction of (peer, level)
+// routing slots that are populated.
+func (g *Grid) BootstrapQuality() (fullPaths, refCoverage float64) {
+	var full, slots, filled int
+	for _, p := range g.peers {
+		if len(p.Path) == g.cfg.Depth {
+			full++
+		}
+		for l := 0; l < len(p.Path); l++ {
+			slots++
+			if l < len(p.refs) && len(p.refs[l]) > 0 {
+				filled++
+			}
+		}
+	}
+	if slots == 0 {
+		return float64(full) / float64(len(g.peers)), 0
+	}
+	return float64(full) / float64(len(g.peers)), float64(filled) / float64(slots)
+}

@@ -1,0 +1,93 @@
+package pgrid
+
+import (
+	"fmt"
+	"strings"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// ComplaintStore is the decentralised complaints.Store of the
+// Aberer–Despotovic model: complaints live on the grid under two keys (one
+// indexed by the accused, one by the complainer), and counts are read with
+// replica voting — the median across R routed queries — to survive
+// malicious storage peers.
+type ComplaintStore struct {
+	Grid *Grid
+	// Replicas is the number of routed queries per count; 0 means 3.
+	Replicas int
+}
+
+var _ complaints.Store = (*ComplaintStore)(nil)
+
+func (s *ComplaintStore) replicas() int {
+	if s.Replicas <= 0 {
+		return 3
+	}
+	return s.Replicas
+}
+
+func (s *ComplaintStore) recvKey(p trust.PeerID) string  { return s.Grid.KeyFor("recv/" + string(p)) }
+func (s *ComplaintStore) filedKey(p trust.PeerID) string { return s.Grid.KeyFor("filed/" + string(p)) }
+
+func encodeComplaint(c complaints.Complaint) string {
+	return string(c.From) + ">" + string(c.About)
+}
+
+// File implements complaints.Store: the complaint is inserted under both
+// index keys.
+func (s *ComplaintStore) File(c complaints.Complaint) error {
+	v := encodeComplaint(c)
+	if err := s.Grid.Insert(s.recvKey(c.About), v); err != nil {
+		return fmt.Errorf("file complaint: %w", err)
+	}
+	if err := s.Grid.Insert(s.filedKey(c.From), v); err != nil {
+		return fmt.Errorf("file complaint: %w", err)
+	}
+	return nil
+}
+
+// Received implements complaints.Store with replica voting. Values that do
+// not parse as complaints about p are ignored, so fabricated garbage cannot
+// raise the count unless it mimics the encoding exactly.
+func (s *ComplaintStore) Received(p trust.PeerID) (int, error) {
+	return s.Grid.MedianCount(s.recvKey(p), s.replicas(), func(values []string) int {
+		n := 0
+		for _, v := range values {
+			if about, ok := complaintAbout(v); ok && about == p {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+// Filed implements complaints.Store with replica voting.
+func (s *ComplaintStore) Filed(p trust.PeerID) (int, error) {
+	return s.Grid.MedianCount(s.filedKey(p), s.replicas(), func(values []string) int {
+		n := 0
+		for _, v := range values {
+			if from, ok := complaintFrom(v); ok && from == p {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+func complaintAbout(v string) (trust.PeerID, bool) {
+	i := strings.IndexByte(v, '>')
+	if i < 0 {
+		return "", false
+	}
+	return trust.PeerID(v[i+1:]), true
+}
+
+func complaintFrom(v string) (trust.PeerID, bool) {
+	i := strings.IndexByte(v, '>')
+	if i < 0 {
+		return "", false
+	}
+	return trust.PeerID(v[:i]), true
+}

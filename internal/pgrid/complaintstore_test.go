@@ -1,0 +1,115 @@
+package pgrid
+
+import (
+	"fmt"
+	"testing"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+func TestComplaintStoreRoundTrip(t *testing.T) {
+	g, err := New(Config{Peers: 32, Depth: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &ComplaintStore{Grid: g}
+	for i := 0; i < 6; i++ {
+		if err := store.File(complaints.Complaint{From: trust.PeerID(fmt.Sprintf("victim%d", i)), About: "cheater"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.File(complaints.Complaint{From: "cheater", About: "victim0"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Received("cheater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("Received(cheater) = %d, want 6", got)
+	}
+	filed, err := store.Filed("cheater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filed != 1 {
+		t.Errorf("Filed(cheater) = %d, want 1", filed)
+	}
+	if n, err := store.Received("bystander"); err != nil || n != 0 {
+		t.Errorf("Received(bystander) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestComplaintStoreSurvivesMinorityHiding(t *testing.T) {
+	g, err := New(Config{Peers: 60, Depth: 2, Seed: 10}) // 15 replicas/leaf
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &ComplaintStore{Grid: g, Replicas: 7}
+	for i := 0; i < 9; i++ {
+		if err := store.File(complaints.Complaint{From: trust.PeerID(fmt.Sprintf("v%d", i)), About: "crook"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.MarkMalicious(0.2)
+	got, err := store.Received("crook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("Received = %d under 20%% hiding, want 9 (median voting)", got)
+	}
+}
+
+func TestComplaintStoreKeySeparation(t *testing.T) {
+	// Complaints about p must not leak into p's filed count, even though
+	// both live on the same grid.
+	g, err := New(Config{Peers: 16, Depth: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &ComplaintStore{Grid: g}
+	if err := store.File(complaints.Complaint{From: "a", About: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.Filed("b"); n != 0 {
+		t.Errorf("Filed(b) = %d, want 0", n)
+	}
+	if n, _ := store.Received("a"); n != 0 {
+		t.Errorf("Received(a) = %d, want 0", n)
+	}
+}
+
+func TestComplaintStoreWithAssessorEndToEnd(t *testing.T) {
+	g, err := New(Config{Peers: 64, Depth: 3, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &ComplaintStore{Grid: g, Replicas: 5}
+	population := make([]trust.PeerID, 20)
+	for i := range population {
+		population[i] = trust.PeerID(fmt.Sprintf("p%d", i))
+	}
+	// p0 cheats everyone; everyone complains.
+	for i := 1; i < 20; i++ {
+		if err := store.File(complaints.Complaint{From: population[i], About: "p0"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := complaints.Assessor{Store: store, Population: population}
+	ok, err := a.Trustworthy("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("p0 should be flagged over the decentralised store")
+	}
+	ok, err = a.Trustworthy("p7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("honest p7 flagged")
+	}
+}

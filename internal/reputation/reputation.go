@@ -1,0 +1,130 @@
+// Package reputation implements the paper's reputation-management module
+// (Figure 1): collecting the results of interactions and making them
+// available to the trust-learning layer. The Ledger is the system of record
+// for exchange outcomes; Feed translates outcomes into the per-agent trust
+// estimators (with optional witness lying, for the adversarial experiments).
+package reputation
+
+import (
+	"sync"
+
+	"trustcoop/internal/goods"
+	"trustcoop/internal/trust"
+)
+
+// Event is the outcome of one exchange session.
+type Event struct {
+	Supplier, Consumer trust.PeerID
+	// Completed reports a fully settled exchange.
+	Completed bool
+	// DefectedBy names the party that walked away mid-exchange; empty when
+	// Completed or Aborted.
+	DefectedBy trust.PeerID
+	// Aborted reports a session killed by the network (lost messages), with
+	// neither party at fault.
+	Aborted bool
+	// SupplierLoss and ConsumerLoss are the realised losses (≥ 0) at the
+	// point the exchange ended.
+	SupplierLoss, ConsumerLoss goods.Money
+	// Round is the session index, for time-series analyses.
+	Round int
+}
+
+// Ledger is an append-only log of exchange outcomes. It is safe for
+// concurrent use.
+type Ledger struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Append records an event.
+func (l *Ledger) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Len reports the number of recorded events.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the log.
+func (l *Ledger) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// ByPeer returns the events in which the peer took part.
+func (l *Ledger) ByPeer(p trust.PeerID) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Supplier == p || e.Consumer == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DefectionsBy counts how often the peer walked away.
+func (l *Ledger) DefectionsBy(p trust.PeerID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.DefectedBy == p {
+			n++
+		}
+	}
+	return n
+}
+
+// CompletionRate is the fraction of non-aborted sessions that completed.
+func (l *Ledger) CompletionRate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	done, total := 0, 0
+	for _, e := range l.events {
+		if e.Aborted {
+			continue
+		}
+		total++
+		if e.Completed {
+			done++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(done) / float64(total)
+}
+
+// Feed routes an event into both parties' trust estimators: each party
+// records whether the other cooperated. Aborted sessions record nothing (the
+// network, not the partner, failed). Liars invert what they record — with a
+// shared witness structure (the Mui network or the complaint store behind
+// the estimators) this poisons what other peers later learn from them.
+func Feed(e Event, estimatorOf func(trust.PeerID) trust.Estimator, isLiar func(trust.PeerID) bool) {
+	if e.Aborted {
+		return
+	}
+	record := func(observer, subject trust.PeerID, cooperated bool) {
+		est := estimatorOf(observer)
+		if est == nil {
+			return
+		}
+		if isLiar != nil && isLiar(observer) {
+			cooperated = !cooperated
+		}
+		est.Record(subject, trust.Outcome{Cooperated: cooperated})
+	}
+	record(e.Supplier, e.Consumer, e.DefectedBy != e.Consumer)
+	record(e.Consumer, e.Supplier, e.DefectedBy != e.Supplier)
+}

@@ -1,0 +1,137 @@
+package reputation
+
+import (
+	"sync"
+	"testing"
+
+	"trustcoop/internal/trust"
+)
+
+func TestLedgerAppendAndQueries(t *testing.T) {
+	var l Ledger
+	l.Append(Event{Supplier: "s1", Consumer: "c1", Completed: true, Round: 0})
+	l.Append(Event{Supplier: "s1", Consumer: "c2", DefectedBy: "s1", Round: 1})
+	l.Append(Event{Supplier: "s2", Consumer: "c1", Aborted: true, Round: 2})
+	l.Append(Event{Supplier: "s2", Consumer: "c2", DefectedBy: "c2", Round: 3})
+
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if got := len(l.ByPeer("s1")); got != 2 {
+		t.Errorf("ByPeer(s1) = %d events, want 2", got)
+	}
+	if got := l.DefectionsBy("s1"); got != 1 {
+		t.Errorf("DefectionsBy(s1) = %d, want 1", got)
+	}
+	if got := l.DefectionsBy("c1"); got != 0 {
+		t.Errorf("DefectionsBy(c1) = %d, want 0", got)
+	}
+	// Completion rate ignores the aborted session: 1 of 3.
+	if got := l.CompletionRate(); got < 0.333 || got > 0.334 {
+		t.Errorf("CompletionRate = %g, want 1/3", got)
+	}
+}
+
+func TestLedgerEmptyCompletionRate(t *testing.T) {
+	var l Ledger
+	if got := l.CompletionRate(); got != 0 {
+		t.Errorf("empty CompletionRate = %g", got)
+	}
+}
+
+func TestLedgerEventsIsACopy(t *testing.T) {
+	var l Ledger
+	l.Append(Event{Supplier: "s"})
+	evs := l.Events()
+	evs[0].Supplier = "tampered"
+	if l.Events()[0].Supplier != "s" {
+		t.Error("Events exposed internal storage")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	var l Ledger
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				l.Append(Event{Supplier: "s", Consumer: "c", Completed: true})
+				_ = l.CompletionRate()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", l.Len())
+	}
+}
+
+func TestFeedRecordsBothViews(t *testing.T) {
+	sup := trust.NewBeta(trust.BetaConfig{})
+	con := trust.NewBeta(trust.BetaConfig{})
+	ests := map[trust.PeerID]trust.Estimator{"s": sup, "c": con}
+	lookup := func(id trust.PeerID) trust.Estimator { return ests[id] }
+
+	Feed(Event{Supplier: "s", Consumer: "c", Completed: true}, lookup, nil)
+	if est := sup.Estimate("c"); est.Samples != 1 || est.P <= 0.5 {
+		t.Errorf("supplier's view of consumer after completion: %+v", est)
+	}
+	if est := con.Estimate("s"); est.Samples != 1 || est.P <= 0.5 {
+		t.Errorf("consumer's view of supplier after completion: %+v", est)
+	}
+
+	// Supplier defects: consumer records a defection; supplier still
+	// records the consumer as cooperative (the consumer did nothing wrong).
+	Feed(Event{Supplier: "s", Consumer: "c", DefectedBy: "s"}, lookup, nil)
+	if coop, defect := con.Counts("s"); coop != 1 || defect != 1 {
+		t.Errorf("consumer's counts of supplier = %g/%g, want 1/1", coop, defect)
+	}
+	if coop, defect := sup.Counts("c"); coop != 2 || defect != 0 {
+		t.Errorf("supplier's counts of consumer = %g/%g, want 2/0", coop, defect)
+	}
+}
+
+func TestFeedAbortedRecordsNothing(t *testing.T) {
+	b := trust.NewBeta(trust.BetaConfig{})
+	lookup := func(trust.PeerID) trust.Estimator { return b }
+	Feed(Event{Supplier: "s", Consumer: "c", Aborted: true}, lookup, nil)
+	if est := b.Estimate("s"); est.Samples != 0 {
+		t.Error("aborted session fed the estimators")
+	}
+}
+
+func TestFeedLiarInverts(t *testing.T) {
+	liar := trust.NewBeta(trust.BetaConfig{})
+	honest := trust.NewBeta(trust.BetaConfig{})
+	ests := map[trust.PeerID]trust.Estimator{"liar": liar, "h": honest}
+	lookup := func(id trust.PeerID) trust.Estimator { return ests[id] }
+	isLiar := func(id trust.PeerID) bool { return id == "liar" }
+
+	Feed(Event{Supplier: "liar", Consumer: "h", Completed: true}, lookup, isLiar)
+	// The liar records the honest completion as a defection.
+	if coop, defect := liar.Counts("h"); coop != 0 || defect != 1 {
+		t.Errorf("liar counts = %g/%g, want inverted 0/1", coop, defect)
+	}
+	// The honest party records the truth.
+	if coop, defect := honest.Counts("liar"); coop != 1 || defect != 0 {
+		t.Errorf("honest counts = %g/%g, want 1/0", coop, defect)
+	}
+}
+
+func TestFeedNilEstimatorIsSkipped(t *testing.T) {
+	// A party without an estimator (e.g. a naive baseline agent) must not
+	// crash the feed.
+	b := trust.NewBeta(trust.BetaConfig{})
+	lookup := func(id trust.PeerID) trust.Estimator {
+		if id == "s" {
+			return b
+		}
+		return nil
+	}
+	Feed(Event{Supplier: "s", Consumer: "c", Completed: true}, lookup, nil)
+	if est := b.Estimate("c"); est.Samples != 1 {
+		t.Error("existing estimator skipped")
+	}
+}

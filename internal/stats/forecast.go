@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forecast pairs a probability prediction with the realised binary outcome,
+// for scoring probabilistic trust estimates against observed behaviour.
+type Forecast struct {
+	P       float64 // predicted probability of the event
+	Outcome bool    // whether the event occurred
+}
+
+// Brier returns the Brier score of the forecasts: the mean squared distance
+// between prediction and outcome. 0 is perfect, 0.25 is the score of the
+// uninformed 0.5 forecast, 1 is maximally wrong.
+func Brier(fs []Forecast) float64 {
+	if len(fs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range fs {
+		o := 0.0
+		if f.Outcome {
+			o = 1
+		}
+		d := f.P - o
+		sum += d * d
+	}
+	return sum / float64(len(fs))
+}
+
+// MAE returns the mean absolute error between paired predictions and truths.
+// It returns an error when the slices differ in length.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("mae: length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// RMSE returns the root-mean-square error between paired predictions and
+// truths. It returns an error when the slices differ in length.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("rmse: length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// CalibrationBin aggregates forecasts whose predictions fall into one
+// probability decile, for reliability-diagram style calibration tables.
+type CalibrationBin struct {
+	Lo, Hi   float64 // prediction range covered by the bin
+	N        int     // number of forecasts in the bin
+	MeanPred float64 // average prediction
+	FracTrue float64 // empirical frequency of the event
+	GapAbs   float64 // |MeanPred − FracTrue|
+	SumSqErr float64 // contribution to the Brier score
+}
+
+// Calibration buckets forecasts into the given number of equal-width
+// probability bins and reports per-bin calibration. Bins with no forecasts
+// have N == 0 and zeroed statistics.
+func Calibration(fs []Forecast, bins int) []CalibrationBin {
+	if bins <= 0 {
+		bins = 10
+	}
+	out := make([]CalibrationBin, bins)
+	sums := make([]float64, bins)
+	trues := make([]int, bins)
+	for i := range out {
+		out[i].Lo = float64(i) / float64(bins)
+		out[i].Hi = float64(i+1) / float64(bins)
+	}
+	for _, f := range fs {
+		idx := int(f.P * float64(bins))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].N++
+		sums[idx] += f.P
+		o := 0.0
+		if f.Outcome {
+			trues[idx]++
+			o = 1
+		}
+		d := f.P - o
+		out[idx].SumSqErr += d * d
+	}
+	for i := range out {
+		if out[i].N == 0 {
+			continue
+		}
+		out[i].MeanPred = sums[i] / float64(out[i].N)
+		out[i].FracTrue = float64(trues[i]) / float64(out[i].N)
+		gap := out[i].MeanPred - out[i].FracTrue
+		if gap < 0 {
+			gap = -gap
+		}
+		out[i].GapAbs = gap
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram counts observations into equal-width bins over [Lo, Hi).
+// Observations outside the range are clamped into the first or last bin so no
+// data is silently lost. The zero value is not usable; construct with
+// NewHistogram.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	n      int
+}
+
+// NewHistogram returns a histogram with the given number of equal-width bins
+// spanning [lo, hi). It returns an error when the range is empty or the bin
+// count is not positive.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("histogram: bin count %d must be positive", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("histogram: empty range [%g, %g)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.n++
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int { return h.n }
+
+// Bins returns a copy of the per-bin counts.
+func (h *Histogram) Bins() []int {
+	out := make([]int, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// BinRange returns the [lo, hi) interval covered by bin i.
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + float64(i)*width, h.lo + float64(i+1)*width
+}
+
+// Fprint renders the histogram as an ASCII bar chart.
+func (h *Histogram) Fprint(w io.Writer) error {
+	maxCount := 0
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		lo, hi := h.BinRange(i)
+		barLen := 0
+		if maxCount > 0 {
+			barLen = c * 40 / maxCount
+		}
+		if _, err := fmt.Fprintf(w, "[%8.3g, %8.3g) %6d %s\n", lo, hi, c, strings.Repeat("#", barLen)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

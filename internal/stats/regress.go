@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit holds the result of an ordinary-least-squares fit y ≈ a + b·x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitLinear computes the least-squares line through (xs[i], ys[i]). It
+// returns an error when the inputs differ in length, contain fewer than two
+// points, or all xs are identical.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("fit: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("fit: need at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("fit: all x values identical (%g)", mx)
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			resid := ys[i] - (a + b*xs[i])
+			ssRes += resid * resid
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Intercept: a, Slope: b, R2: r2}, nil
+}
+
+// FitPowerLaw fits y ≈ c·x^k by linear regression in log-log space and
+// returns the exponent k, the constant c, and the log-space R². All inputs
+// must be strictly positive.
+func FitPowerLaw(xs, ys []float64) (exponent, constant, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if i >= len(ys) {
+			break
+		}
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("power-law fit: non-positive point (%g, %g)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	fit, err := FitLinear(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return fit.Slope, math.Exp(fit.Intercept), fit.R2, nil
+}

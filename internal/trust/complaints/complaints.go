@@ -1,0 +1,231 @@
+// Package complaints implements the practical P2P trust model of Aberer and
+// Despotovic (CIKM 2001) — reference [2] of the paper. Agents that are
+// cheated file complaints; the global complaint pattern identifies cheaters:
+// an honest population files complaints only about cheaters, so a peer with
+// both many complaints *received* and many complaints *filed* (cheaters
+// retaliate with fake complaints to muddy the waters) stands out by the
+// product cr(q)·cf(q).
+//
+// The model is storage-agnostic: Store abstracts where complaints live. The
+// in-memory store here is the centralised baseline; internal/pgrid provides
+// the decentralised P-Grid-backed store with replica voting, which is the
+// deployment the original paper targets.
+package complaints
+
+import (
+	"sort"
+	"sync"
+
+	"trustcoop/internal/trust"
+)
+
+// Complaint states that From was cheated by About in some interaction.
+type Complaint struct {
+	From  trust.PeerID
+	About trust.PeerID
+}
+
+// Store is where complaints are filed and counted. Implementations may be
+// centralised (MemoryStore) or decentralised (pgrid.ComplaintStore), in
+// which case counts can be distorted by malicious storage peers.
+type Store interface {
+	// File records a complaint.
+	File(c Complaint) error
+	// Received returns how many complaints exist about the peer.
+	Received(p trust.PeerID) (int, error)
+	// Filed returns how many complaints the peer has filed.
+	Filed(p trust.PeerID) (int, error)
+}
+
+// MemoryStore is the centralised in-memory Store. It is safe for concurrent
+// use.
+type MemoryStore struct {
+	mu       sync.Mutex
+	received map[trust.PeerID]int
+	filed    map[trust.PeerID]int
+}
+
+// NewMemoryStore returns an empty store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{received: make(map[trust.PeerID]int), filed: make(map[trust.PeerID]int)}
+}
+
+var _ Store = (*MemoryStore)(nil)
+
+// File implements Store.
+func (s *MemoryStore) File(c Complaint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.received[c.About]++
+	s.filed[c.From]++
+	return nil
+}
+
+// Received implements Store.
+func (s *MemoryStore) Received(p trust.PeerID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received[p], nil
+}
+
+// Filed implements Store.
+func (s *MemoryStore) Filed(p trust.PeerID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.filed[p], nil
+}
+
+// Assessor turns complaint counts into trust decisions following the
+// original decision rule: peer q is considered dishonest when its complaint
+// product cr(q)·cf(q) exceeds Factor times the population average.
+type Assessor struct {
+	// Store holds the complaint data.
+	Store Store
+	// Factor is the decision threshold multiplier; 0 means DefaultFactor.
+	Factor float64
+	// Population lists the peers over which averages are computed.
+	Population []trust.PeerID
+}
+
+// DefaultFactor is the decision threshold used by the original evaluation.
+const DefaultFactor = 4
+
+func (a Assessor) factor() float64 {
+	if a.Factor <= 0 {
+		return DefaultFactor
+	}
+	return a.Factor
+}
+
+// Product returns cr(q)·cf(q) with add-one smoothing, so that a peer with
+// complaints received but none filed still scores.
+func (a Assessor) Product(q trust.PeerID) (float64, error) {
+	cr, err := a.Store.Received(q)
+	if err != nil {
+		return 0, err
+	}
+	cf, err := a.Store.Filed(q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cr+1) * float64(cf+1), nil
+}
+
+// averageProduct is the population mean of the complaint product.
+func (a Assessor) averageProduct() (float64, error) {
+	if len(a.Population) == 0 {
+		return 1, nil
+	}
+	var sum float64
+	for _, p := range a.Population {
+		prod, err := a.Product(p)
+		if err != nil {
+			return 0, err
+		}
+		sum += prod
+	}
+	return sum / float64(len(a.Population)), nil
+}
+
+// NormalisedScore is the peer's complaint product relative to the
+// population average: ~1 for an ordinary peer, large for cheaters.
+func (a Assessor) NormalisedScore(q trust.PeerID) (float64, error) {
+	avg, err := a.averageProduct()
+	if err != nil {
+		return 0, err
+	}
+	prod, err := a.Product(q)
+	if err != nil {
+		return 0, err
+	}
+	if avg <= 0 {
+		return prod, nil
+	}
+	return prod / avg, nil
+}
+
+// Trustworthy applies the decision rule: score ≤ Factor.
+func (a Assessor) Trustworthy(q trust.PeerID) (bool, error) {
+	s, err := a.NormalisedScore(q)
+	if err != nil {
+		return false, err
+	}
+	return s <= a.factor(), nil
+}
+
+// Probability bridges the binary decision rule to the probabilistic
+// interface the decision module needs (our addition, documented in
+// DESIGN.md): p = Factor/(Factor + score), which maps an average peer
+// (score 1) to Factor/(Factor+1), the decision threshold (score = Factor)
+// to 0.5, and heavy complainers towards 0.
+func (a Assessor) Probability(q trust.PeerID) (float64, error) {
+	s, err := a.NormalisedScore(q)
+	if err != nil {
+		return 0, err
+	}
+	f := a.factor()
+	return f / (f + s), nil
+}
+
+// Estimator adapts the assessor to trust.Estimator. Recording a defection
+// files a complaint by the observer; cooperations are not stored (the model
+// only tracks negative feedback).
+type Estimator struct {
+	Assessor Assessor
+	Observer trust.PeerID
+}
+
+var _ trust.Estimator = (*Estimator)(nil)
+
+// Name implements trust.Estimator.
+func (e *Estimator) Name() string { return "complaints" }
+
+// Record implements trust.Estimator: defections become complaints.
+func (e *Estimator) Record(peer trust.PeerID, o trust.Outcome) {
+	if !o.Cooperated {
+		// Filing can only fail with a decentralised store whose routing
+		// broke; the assessment degrades gracefully, so the error is
+		// intentionally dropped here.
+		_ = e.Assessor.Store.File(Complaint{From: e.Observer, About: peer})
+	}
+}
+
+// Estimate implements trust.Estimator.
+func (e *Estimator) Estimate(peer trust.PeerID) trust.Estimate {
+	p, err := e.Assessor.Probability(peer)
+	if err != nil {
+		return trust.Estimate{P: 0.5}
+	}
+	cr, _ := e.Assessor.Store.Received(peer)
+	cf, _ := e.Assessor.Store.Filed(peer)
+	n := float64(cr + cf)
+	return trust.Estimate{P: p, Confidence: trust.Reliability(n, trust.DefaultEpsilon), Samples: n}
+}
+
+// SortByScore orders peers from most to least suspicious; ties break by ID.
+// Used by the adversarial-witness experiment to rank detected cheaters.
+func (a Assessor) SortByScore(peers []trust.PeerID) ([]trust.PeerID, error) {
+	type scored struct {
+		id    trust.PeerID
+		score float64
+	}
+	out := make([]scored, 0, len(peers))
+	for _, p := range peers {
+		s, err := a.NormalisedScore(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scored{p, s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]trust.PeerID, len(out))
+	for i, s := range out {
+		ids[i] = s.id
+	}
+	return ids, nil
+}

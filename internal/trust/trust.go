@@ -1,0 +1,229 @@
+// Package trust implements the paper's trust-learning module (Figure 1):
+// turning records of past behaviour into probabilistic predictions of future
+// behaviour. The paper defers the mechanism to two concrete models — a
+// "theoretically well-founded" Bayesian model (Mui et al. [3], subpackage
+// mui) and a practical P2P complaint-based model (Aberer–Despotovic [2],
+// subpackage complaints). This package defines the shared vocabulary and the
+// direct-experience Beta estimator both build on.
+package trust
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// PeerID identifies a member of the community.
+type PeerID string
+
+// Outcome records one interaction result with a peer.
+type Outcome struct {
+	// Cooperated reports whether the peer behaved honestly (completed its
+	// side of the exchange, reported truthfully, …).
+	Cooperated bool
+	// Weight scales the observation; 0 means 1 (a single ordinary
+	// interaction). Larger weights suit high-value exchanges.
+	Weight float64
+}
+
+func (o Outcome) weight() float64 {
+	if o.Weight <= 0 {
+		return 1
+	}
+	return o.Weight
+}
+
+// Estimate is a probabilistic prediction of a peer's future behaviour.
+type Estimate struct {
+	// P is the predicted probability the peer will cooperate.
+	P float64
+	// Confidence in [0, 1) grows with the evidence backing P (Chernoff-bound
+	// reliability, see Reliability).
+	Confidence float64
+	// Samples is the effective number of observations behind the estimate.
+	Samples float64
+}
+
+// Estimator is the trust-learning interface consumed by the decision module:
+// record interaction outcomes, predict cooperation probabilities.
+type Estimator interface {
+	// Record feeds one interaction outcome with the peer.
+	Record(peer PeerID, o Outcome)
+	// Estimate predicts the peer's behaviour. Unknown peers yield the
+	// estimator's prior with zero confidence.
+	Estimate(peer PeerID) Estimate
+	// Name labels the estimator in experiment tables.
+	Name() string
+}
+
+// Reliability is the Chernoff-bound sample reliability used by Mui et al.:
+// the probability that an empirical frequency over n observations lies
+// within eps of the true rate, 1 − 2e^{−2·eps²·n}, clamped to [0, 1].
+func Reliability(n, eps float64) float64 {
+	if n <= 0 || eps <= 0 {
+		return 0
+	}
+	r := 1 - 2*math.Exp(-2*eps*eps*n)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SamplesFor inverts Reliability: the number of observations needed for the
+// empirical frequency to be within eps of the truth with probability at
+// least 1−delta. (Mui et al.'s m(ε, δ).)
+func SamplesFor(eps, delta float64) float64 {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(delta/2) / (2 * eps * eps)
+}
+
+// DefaultEpsilon is the estimation-error tolerance used for reliability
+// computations throughout the experiments.
+const DefaultEpsilon = 0.1
+
+// BetaConfig parameterises the direct-experience estimator.
+type BetaConfig struct {
+	// PriorAlpha and PriorBeta form the Beta prior; both default to 1
+	// (uniform: unknown peers estimate at 0.5).
+	PriorAlpha, PriorBeta float64
+	// Decay in (0, 1] exponentially forgets old evidence at each new
+	// observation; 0 means 1 (no forgetting).
+	Decay float64
+	// Epsilon is the error tolerance for Confidence; 0 means DefaultEpsilon.
+	Epsilon float64
+}
+
+func (c BetaConfig) withDefaults() BetaConfig {
+	if c.PriorAlpha <= 0 {
+		c.PriorAlpha = 1
+	}
+	if c.PriorBeta <= 0 {
+		c.PriorBeta = 1
+	}
+	if c.Decay <= 0 || c.Decay > 1 {
+		c.Decay = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = DefaultEpsilon
+	}
+	return c
+}
+
+// Beta is the Bayesian direct-experience estimator: per peer a Beta
+// posterior over the cooperation probability, with optional exponential
+// forgetting. It is safe for concurrent use.
+type Beta struct {
+	cfg BetaConfig
+
+	mu     sync.Mutex
+	counts map[PeerID]*betaCounts
+}
+
+type betaCounts struct {
+	coop, defect float64 // evidence beyond the prior
+}
+
+// NewBeta returns a Beta estimator with the given configuration.
+func NewBeta(cfg BetaConfig) *Beta {
+	return &Beta{cfg: cfg.withDefaults(), counts: make(map[PeerID]*betaCounts)}
+}
+
+var _ Estimator = (*Beta)(nil)
+
+// Name implements Estimator.
+func (b *Beta) Name() string { return "beta" }
+
+// Record implements Estimator.
+func (b *Beta) Record(peer PeerID, o Outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.counts[peer]
+	if c == nil {
+		c = &betaCounts{}
+		b.counts[peer] = c
+	}
+	if d := b.cfg.Decay; d < 1 {
+		c.coop *= d
+		c.defect *= d
+	}
+	if o.Cooperated {
+		c.coop += o.weight()
+	} else {
+		c.defect += o.weight()
+	}
+}
+
+// Estimate implements Estimator.
+func (b *Beta) Estimate(peer PeerID) Estimate {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.counts[peer]
+	var coop, defect float64
+	if c != nil {
+		coop, defect = c.coop, c.defect
+	}
+	alpha := b.cfg.PriorAlpha + coop
+	beta := b.cfg.PriorBeta + defect
+	n := coop + defect
+	return Estimate{
+		P:          alpha / (alpha + beta),
+		Confidence: Reliability(n, b.cfg.Epsilon),
+		Samples:    n,
+	}
+}
+
+// Counts returns the peer's raw evidence (cooperations, defections) — used
+// by the Mui witness network to share observations.
+func (b *Beta) Counts(peer PeerID) (coop, defect float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.counts[peer]; c != nil {
+		return c.coop, c.defect
+	}
+	return 0, 0
+}
+
+// Peers lists every peer with recorded evidence, sorted for determinism.
+func (b *Beta) Peers() []PeerID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]PeerID, 0, len(b.counts))
+	for p := range b.counts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Forget discards all evidence about a peer.
+func (b *Beta) Forget(peer PeerID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.counts, peer)
+}
+
+// Oracle is a ground-truth estimator for baseline comparisons: it answers
+// with the true cooperation probabilities it was constructed with.
+type Oracle struct {
+	Truth map[PeerID]float64 // true cooperation probability per peer
+	Prior float64            // answer for peers missing from Truth
+}
+
+var _ Estimator = (*Oracle)(nil)
+
+// Name implements Estimator.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Record implements Estimator (the oracle needs no evidence).
+func (o *Oracle) Record(PeerID, Outcome) {}
+
+// Estimate implements Estimator.
+func (o *Oracle) Estimate(peer PeerID) Estimate {
+	if p, ok := o.Truth[peer]; ok {
+		return Estimate{P: p, Confidence: 1, Samples: math.Inf(1)}
+	}
+	return Estimate{P: o.Prior}
+}
