@@ -11,6 +11,7 @@ package trustcoop
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"trustcoop/internal/agent"
@@ -23,16 +24,27 @@ import (
 	"trustcoop/internal/trust/mui"
 )
 
+// benchExperiment measures one experiment regeneration at each worker-pool
+// width of interest: serial (workers=1) and the hardware width (GOMAXPROCS).
+// The ratio of the two is the shard runner's wall-clock speedup.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	for i := 0; i < b.N; i++ {
-		tbl, err := eval.Run(id, 42, true)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(tbl.Rows) == 0 {
-			b.Fatal("empty table")
-		}
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl, err := eval.Run(id, eval.RunConfig{Seed: 42, Quick: true, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tbl.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
 	}
 }
 
@@ -45,6 +57,33 @@ func BenchmarkE6RiskAversion(b *testing.B)         { benchExperiment(b, "E6") }
 func BenchmarkE7MinimalStake(b *testing.B)         { benchExperiment(b, "E7") }
 func BenchmarkE8AdversarialWitnesses(b *testing.B) { benchExperiment(b, "E8") }
 func BenchmarkE9Ablation(b *testing.B)             { benchExperiment(b, "E9") }
+
+// BenchmarkMarketSessionsConcurrent measures the engine's in-flight session
+// window: the same workload with sessions strictly sequential vs interleaved
+// on the virtual clock.
+func BenchmarkMarketSessionsConcurrent(b *testing.B) {
+	agents, err := agent.NewPopulation(agent.PopConfig{Honest: 16, Opportunist: 4, Stake: 2 * goods.Unit},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, conc := range []int{1, 16} {
+		b.Run(fmt.Sprintf("concurrency=%d", conc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := market.NewEngine(market.Config{
+					Seed: int64(i), Sessions: 100, Agents: agents, Concurrency: conc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkScheduleSafe exposes the scheduler's quadratic growth: ns/op
 // should scale ≈ 4× per size doubling… strictly, the Lawler order is a sort

@@ -2,9 +2,13 @@
 // for the paper's evaluation. See EXPERIMENTS.md for the claim → experiment
 // mapping and the reference output.
 //
+// Trials shard across a worker pool sized to GOMAXPROCS by default; tables
+// are identical for every worker count (each trial draws from its own
+// seed-derived random stream and results reduce in trial order).
+//
 // Usage:
 //
-//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv]
+//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N]
 package main
 
 import (
@@ -29,6 +33,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts (for smoke runs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := fs.Int("workers", 0, "trial worker pool size; 0 means GOMAXPROCS")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +49,7 @@ func run(args []string) error {
 		}
 	}
 	for _, id := range ids {
-		tbl, err := eval.Run(id, *seed, *quick)
+		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers})
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

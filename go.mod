@@ -1,0 +1,3 @@
+module trustcoop
+
+go 1.24

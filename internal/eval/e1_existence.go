@@ -3,7 +3,6 @@ package eval
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"trustcoop/internal/exchange"
 	"trustcoop/internal/goods"
@@ -17,6 +16,7 @@ type E1Config struct {
 	Sizes   []int // bundle sizes; nil means {2, 4, 8, 16, 32}
 	Dists   []goods.Distribution
 	StakePc []float64 // stakes as fraction of total bundle cost; nil means {0, 0.05, 0.1, 0.25}
+	Workers int       // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E1Config) withDefaults() E1Config {
@@ -40,7 +40,9 @@ func (c E1Config) withDefaults() E1Config {
 // stakes restore existence. For each bundle size and valuation distribution
 // it reports the fraction of random bundles admitting a safe sequence at
 // stake levels expressed as a fraction of the bundle's production cost, plus
-// the median minimal stake (as % of cost).
+// the median minimal stake (as % of cost). Cells are independent trials on
+// the shard runner: each draws from its own seed-derived stream, so the
+// table is identical for every worker count.
 func E1SafeExistence(cfg E1Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -53,41 +55,59 @@ func E1SafeExistence(cfg E1Config) (*Table, error) {
 	}
 	tbl.Cols = append(tbl.Cols, "median Δ*/cost")
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	type cellKey struct {
+		n    int
+		dist goods.Distribution
+	}
+	var cells []cellKey
 	for _, n := range cfg.Sizes {
 		for _, dist := range cfg.Dists {
-			gen := goods.DefaultGenConfig()
-			gen.Items = n
-			gen.Dist = dist
-			exists := make([]int, len(cfg.StakePc))
-			var minStakes []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				bundle, err := goods.Generate(gen, rng)
-				if err != nil {
-					return nil, err
-				}
-				terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
-				cost := bundle.TotalCost()
-				for i, s := range cfg.StakePc {
-					stake := goods.Money(s * float64(cost))
-					_, err := exchange.ScheduleSafe(terms, exchange.Stakes{Supplier: stake}, exchange.Options{})
-					switch {
-					case err == nil:
-						exists[i]++
-					case errors.Is(err, exchange.ErrNoSafeSequence):
-					default:
-						return nil, err
-					}
-				}
-				minStakes = append(minStakes, exchange.MinimalStake(terms).Float64()/cost.Float64())
-			}
-			row := []string{itoa(n), dist.String()}
-			for _, e := range exists {
-				row = append(row, pct(float64(e)/float64(cfg.Trials)))
-			}
-			row = append(row, pct(stats.Median(minStakes)))
-			tbl.AddRow(row...)
+			cells = append(cells, cellKey{n, dist})
 		}
+	}
+	type cellResult struct {
+		exists    []int
+		minStakes []float64
+	}
+	results, err := RunTrials(cfg.Workers, len(cells), func(ci int) (cellResult, error) {
+		cell := cells[ci]
+		rng := shardRng(cfg.Seed, ci)
+		gen := goods.DefaultGenConfig()
+		gen.Items = cell.n
+		gen.Dist = cell.dist
+		res := cellResult{exists: make([]int, len(cfg.StakePc))}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			bundle, err := goods.Generate(gen, rng)
+			if err != nil {
+				return cellResult{}, err
+			}
+			terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
+			cost := bundle.TotalCost()
+			for i, s := range cfg.StakePc {
+				stake := goods.Money(s * float64(cost))
+				_, err := exchange.ScheduleSafe(terms, exchange.Stakes{Supplier: stake}, exchange.Options{})
+				switch {
+				case err == nil:
+					res.exists[i]++
+				case errors.Is(err, exchange.ErrNoSafeSequence):
+				default:
+					return cellResult{}, err
+				}
+			}
+			res.minStakes = append(res.minStakes, exchange.MinimalStake(terms).Float64()/cost.Float64())
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cell := range cells {
+		row := []string{itoa(cell.n), cell.dist.String()}
+		for _, e := range results[ci].exists {
+			row = append(row, pct(float64(e)/float64(cfg.Trials)))
+		}
+		row = append(row, pct(stats.Median(results[ci].minStakes)))
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }

@@ -15,6 +15,10 @@ type E2Config struct {
 	Population int       // 0 means 24
 	CheaterPct []float64 // nil means {0, 0.25, 0.5}
 	Strategies []market.Strategy
+	// Concurrency is the engine's in-flight session window per cell; 0 means
+	// 1 (sequential sessions, the paper-faithful information structure).
+	Concurrency int
+	Workers     int // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E2Config) withDefaults() E2Config {
@@ -36,7 +40,9 @@ func (c E2Config) withDefaults() E2Config {
 // E2CompletionWelfare compares the three scheduling strategies across
 // populations with growing cheater fractions: the paper's core promise is
 // that trust-aware scheduling trades (almost) as often as naive exchange
-// while losing (almost) as little as safe-only refusal.
+// while losing (almost) as little as safe-only refusal. Each (cheater
+// fraction, strategy) cell is an independent marketplace run sharded over
+// the trial worker pool.
 func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -44,44 +50,57 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 		Title: "strategy comparison: trade rate, completion, welfare, honest losses",
 		Cols:  []string{"cheaters", "strategy", "trade rate", "completion", "welfare", "honest loss", "safe plans"},
 	}
+	type cell struct {
+		cheatPct float64
+		strat    market.Strategy
+	}
+	var cells []cell
 	for _, cheatPct := range cfg.CheaterPct {
 		for _, strat := range cfg.Strategies {
-			cheaters := int(cheatPct * float64(cfg.Population))
-			pop := agent.PopConfig{
-				Honest:      cfg.Population - cheaters,
-				Opportunist: cheaters / 2,
-				Backstabber: cheaters - cheaters/2,
-				// Stakes stay modest: large stakes would make everything
-				// safely schedulable and hide the differences.
-				Stake: 2 * goods.Unit,
-			}
-			agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
-			if err != nil {
-				return nil, err
-			}
-			eng, err := market.NewEngine(market.Config{
-				Seed:     cfg.Seed + int64(len(tbl.Rows)),
-				Sessions: cfg.Sessions,
-				Agents:   agents,
-				Strategy: strat,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := eng.Run()
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(
-				pct(cheatPct),
-				strat.String(),
-				pct(res.TradeRate()),
-				pct(res.CompletionRate()),
-				f1(res.Welfare.Float64()),
-				f1(res.HonestVictimLoss.Float64()),
-				itoa(res.ModeSafe),
-			)
+			cells = append(cells, cell{cheatPct, strat})
 		}
+	}
+	results, err := RunTrials(cfg.Workers, len(cells), func(ci int) (market.Result, error) {
+		c := cells[ci]
+		cheaters := int(c.cheatPct * float64(cfg.Population))
+		pop := agent.PopConfig{
+			Honest:      cfg.Population - cheaters,
+			Opportunist: cheaters / 2,
+			Backstabber: cheaters - cheaters/2,
+			// Stakes stay modest: large stakes would make everything
+			// safely schedulable and hide the differences.
+			Stake: 2 * goods.Unit,
+		}
+		agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return market.Result{}, err
+		}
+		eng, err := market.NewEngine(market.Config{
+			Seed:        DeriveSeed(cfg.Seed, ci),
+			Sessions:    cfg.Sessions,
+			Agents:      agents,
+			Strategy:    c.strat,
+			Concurrency: cfg.Concurrency,
+		})
+		if err != nil {
+			return market.Result{}, err
+		}
+		return eng.Run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		res := results[ci]
+		tbl.AddRow(
+			pct(c.cheatPct),
+			c.strat.String(),
+			pct(res.TradeRate()),
+			pct(res.CompletionRate()),
+			f1(res.Welfare.Float64()),
+			f1(res.HonestVictimLoss.Float64()),
+			itoa(res.ModeSafe),
+		)
 	}
 	return tbl, nil
 }

@@ -14,6 +14,7 @@ type E3Config struct {
 	Sessions   int       // 0 means 400
 	Population int       // 0 means 20
 	CheaterPct []float64 // nil means {0.2, 0.4, 0.6}
+	Workers    int       // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E3Config) withDefaults() E3Config {
@@ -34,7 +35,8 @@ func (c E3Config) withDefaults() E3Config {
 // to risk. Lazy payments deliberately push exposure onto the supplier
 // (credit is extended against trust), so the supplier side is where losses
 // land; both sides are reported, with the count of sessions whose realised
-// loss exceeded the planned worst case (must be 0 on both sides).
+// loss exceeded the planned worst case (must be 0 on both sides). Each
+// cheater-fraction cell runs as an independent sharded trial.
 func E3LossExposure(cfg E3Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -43,7 +45,8 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 		Cols: []string{"cheaters", "side", "planned mean", "planned max",
 			"realised mean", "realised max", "violations"},
 	}
-	for _, cheatPct := range cfg.CheaterPct {
+	results, err := RunTrials(cfg.Workers, len(cfg.CheaterPct), func(ci int) (market.Result, error) {
+		cheatPct := cfg.CheaterPct[ci]
 		cheaters := int(cheatPct * float64(cfg.Population))
 		pop := agent.PopConfig{
 			Honest:      cfg.Population - cheaters,
@@ -52,21 +55,24 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 		}
 		agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {
-			return nil, err
+			return market.Result{}, err
 		}
 		eng, err := market.NewEngine(market.Config{
-			Seed:     cfg.Seed + int64(len(tbl.Rows)) + 1,
+			Seed:     DeriveSeed(cfg.Seed, ci),
 			Sessions: cfg.Sessions,
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
 		})
 		if err != nil {
-			return nil, err
+			return market.Result{}, err
 		}
-		res, err := eng.Run()
-		if err != nil {
-			return nil, err
-		}
+		return eng.Run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cheatPct := range cfg.CheaterPct {
+		res := results[ci]
 		addSide := func(side string, planned, realised stats.Sample) {
 			violations := 0
 			if realised.Max() > planned.Max()+1e-9 {

@@ -15,6 +15,7 @@ type E4Config struct {
 	Seed       int64
 	Population int   // 0 means 40
 	Rounds     []int // interactions per peer pair stage; nil means {5, 20, 80, 320}
+	Workers    int   // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E4Config) withDefaults() E4Config {
@@ -27,6 +28,12 @@ func (c E4Config) withDefaults() E4Config {
 	return c
 }
 
+// e4Interaction is one observed encounter of the shared schedule.
+type e4Interaction struct {
+	obs, sub trust.PeerID
+	coop     bool
+}
+
 // E4TrustLearning compares the trust models the paper delegates to — the
 // Bayesian direct-experience estimator, the Mui et al. witness model [3]
 // and the Aberer–Despotovic complaint model [2] — on how quickly their
@@ -34,6 +41,11 @@ func (c E4Config) withDefaults() E4Config {
 // The metric is the mean absolute error between the predicted cooperation
 // probability and the agent's ground-truth honesty, over all (observer,
 // subject) pairs with any evidence.
+//
+// The interaction schedule is drawn once from the seed; each model then
+// replays it independently on the shard runner (the models share no state,
+// so the replays parallelise cleanly and the result is identical for every
+// worker count).
 func E4TrustLearning(cfg E4Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -56,18 +68,11 @@ func E4TrustLearning(cfg E4Config) (*Table, error) {
 		}
 	}
 
-	beta := make(map[trust.PeerID]*trust.Beta, n)
-	betaDecay := make(map[trust.PeerID]*trust.Beta, n)
-	for _, id := range ids {
-		beta[id] = trust.NewBeta(trust.BetaConfig{})
-		betaDecay[id] = trust.NewBeta(trust.BetaConfig{Decay: 0.98})
-	}
-	muiNet := mui.NewNetwork(mui.Config{MaxWitnesses: 24})
-	store := complaints.NewMemoryStore()
-	assessor := complaints.Assessor{Store: store, Population: ids}
-
+	// One shared schedule: stages[k] holds the interactions that arrive
+	// between stage k−1 and stage k.
+	stages := make([][]e4Interaction, len(cfg.Rounds))
 	interactions := 0
-	for _, target := range cfg.Rounds {
+	for si, target := range cfg.Rounds {
 		for ; interactions < target*n; interactions++ {
 			obs := ids[rng.Intn(n)]
 			sub := ids[rng.Intn(n)]
@@ -75,64 +80,113 @@ func E4TrustLearning(cfg E4Config) (*Table, error) {
 				continue
 			}
 			coop := rng.Float64() < honesty[sub]
-			o := trust.Outcome{Cooperated: coop}
-			beta[obs].Record(sub, o)
-			betaDecay[obs].Record(sub, o)
-			muiNet.Record(obs, sub, o)
-			if !coop {
-				if err := store.File(complaints.Complaint{From: obs, About: sub}); err != nil {
+			stages[si] = append(stages[si], e4Interaction{obs: obs, sub: sub, coop: coop})
+		}
+	}
+
+	maeOf := func(est func(obs, sub trust.PeerID) (float64, bool)) (float64, error) {
+		var pred, truth []float64
+		for _, obs := range ids {
+			for _, sub := range ids {
+				if obs == sub {
+					continue
+				}
+				if p, ok := est(obs, sub); ok {
+					pred = append(pred, p)
+					truth = append(truth, honesty[sub])
+				}
+			}
+		}
+		return stats.MAE(pred, truth)
+	}
+
+	// Each model owns its private state and replays the schedule stage by
+	// stage, reporting one MAE per stage.
+	type model struct {
+		name   string
+		replay func() ([]float64, error)
+	}
+	betaReplay := func(decay float64) func() ([]float64, error) {
+		return func() ([]float64, error) {
+			est := make(map[trust.PeerID]*trust.Beta, n)
+			for _, id := range ids {
+				est[id] = trust.NewBeta(trust.BetaConfig{Decay: decay})
+			}
+			var maes []float64
+			for _, stage := range stages {
+				for _, ia := range stage {
+					est[ia.obs].Record(ia.sub, trust.Outcome{Cooperated: ia.coop})
+				}
+				m, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+					e := est[obs].Estimate(sub)
+					return e.P, e.Samples > 0
+				})
+				if err != nil {
 					return nil, err
 				}
+				maes = append(maes, m)
 			}
+			return maes, nil
 		}
-
-		maeOf := func(est func(obs, sub trust.PeerID) (float64, bool)) (float64, error) {
-			var pred, truth []float64
-			for _, obs := range ids {
-				for _, sub := range ids {
-					if obs == sub {
-						continue
-					}
-					if p, ok := est(obs, sub); ok {
-						pred = append(pred, p)
-						truth = append(truth, honesty[sub])
+	}
+	models := []model{
+		{"beta", betaReplay(0)},
+		{"beta+decay", betaReplay(0.98)},
+		{"mui", func() ([]float64, error) {
+			net := mui.NewNetwork(mui.Config{MaxWitnesses: 24})
+			var maes []float64
+			for _, stage := range stages {
+				for _, ia := range stage {
+					net.Record(ia.obs, ia.sub, trust.Outcome{Cooperated: ia.coop})
+				}
+				m, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+					e := net.Estimate(obs, sub)
+					return e.P, true // witnesses make estimates available everywhere
+				})
+				if err != nil {
+					return nil, err
+				}
+				maes = append(maes, m)
+			}
+			return maes, nil
+		}},
+		{"complaints", func() ([]float64, error) {
+			store := complaints.NewMemoryStore()
+			assessor := complaints.Assessor{Store: store, Population: ids}
+			var maes []float64
+			for _, stage := range stages {
+				for _, ia := range stage {
+					if !ia.coop {
+						if err := store.File(complaints.Complaint{From: ia.obs, About: ia.sub}); err != nil {
+							return nil, err
+						}
 					}
 				}
+				m, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
+					p, err := assessor.Probability(sub)
+					if err != nil {
+						return 0, false
+					}
+					return p, true
+				})
+				if err != nil {
+					return nil, err
+				}
+				maes = append(maes, m)
 			}
-			return stats.MAE(pred, truth)
-		}
-		maeBeta, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
-			e := beta[obs].Estimate(sub)
-			return e.P, e.Samples > 0
-		})
-		if err != nil {
-			return nil, err
-		}
-		maeDecay, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
-			e := betaDecay[obs].Estimate(sub)
-			return e.P, e.Samples > 0
-		})
-		if err != nil {
-			return nil, err
-		}
-		maeMui, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
-			e := muiNet.Estimate(obs, sub)
-			return e.P, true // witnesses make estimates available everywhere
-		})
-		if err != nil {
-			return nil, err
-		}
-		maeCompl, err := maeOf(func(obs, sub trust.PeerID) (float64, bool) {
-			p, err := assessor.Probability(sub)
-			if err != nil {
-				return 0, false
-			}
-			return p, true
-		})
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(itoa(target), f3(maeBeta), f3(maeDecay), f3(maeMui), f3(maeCompl))
+			return maes, nil
+		}},
+	}
+
+	columns, err := RunTrials(cfg.Workers, len(models), func(mi int) ([]float64, error) {
+		return models[mi].replay()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, target := range cfg.Rounds {
+		tbl.AddRow(itoa(target),
+			f3(columns[0][si]), f3(columns[1][si]), f3(columns[2][si]), f3(columns[3][si]))
 	}
 	return tbl, nil
 }

@@ -19,6 +19,7 @@ type E5Config struct {
 	SchedReps  int   // timing repetitions; 0 means 20
 	GridSizes  []int // peer counts; nil means {64, 256, 1024, 4096}
 	GridProbes int   // queries per grid; 0 means 400
+	Workers    int   // worker pool for the (untimed) grid cells; 0 means DefaultWorkers()
 }
 
 func (c E5Config) withDefaults() E5Config {
@@ -42,6 +43,11 @@ func (c E5Config) withDefaults() E5Config {
 // the fitted power-law exponent, which should sit near 2), and the P-Grid
 // substrate of [2] answers reputation queries in O(log N) hops (we report
 // mean hops against log2 N).
+//
+// The scheduler cells measure wall-clock time, so they deliberately run
+// sequentially on the calling goroutine — timing under a contended worker
+// pool would corrupt the exponent fit. The grid cells count hops (no clock),
+// so they shard across the worker pool.
 func E5Complexity(cfg E5Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -93,22 +99,29 @@ func E5Complexity(cfg E5Config) (*Table, error) {
 		tbl.AddRow("scheduler (O(n^2) ref)", "fit", "exponent", fmt.Sprintf("%.2f (R²=%.3f)", exp, r2))
 	}
 
-	for _, peers := range cfg.GridSizes {
+	gridRows, err := RunTrials(cfg.Workers, len(cfg.GridSizes), func(gi int) (string, error) {
+		peers := cfg.GridSizes[gi]
 		g, err := pgrid.New(pgrid.Config{Peers: peers, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		key := g.KeyFor("subject")
 		if err := g.Insert(key, "record"); err != nil {
-			return nil, err
+			return "", err
 		}
 		for i := 0; i < cfg.GridProbes; i++ {
 			if _, _, err := g.Query(key); err != nil {
-				return nil, err
+				return "", err
 			}
 		}
 		_, mean := g.RouteStats()
-		tbl.AddRow("pgrid", itoa(peers), "mean hops", fmt.Sprintf("%.2f (log2N=%.1f)", mean, math.Log2(float64(peers))))
+		return fmt.Sprintf("%.2f (log2N=%.1f)", mean, math.Log2(float64(peers))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi, peers := range cfg.GridSizes {
+		tbl.AddRow("pgrid", itoa(peers), "mean hops", gridRows[gi])
 	}
 	return tbl, nil
 }

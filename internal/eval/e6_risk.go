@@ -15,6 +15,7 @@ type E6Config struct {
 	Sessions   int       // 0 means 400
 	Population int       // 0 means 18
 	Alphas     []float64 // CARA coefficients; nil means {0, 0.05, 0.2, 0.8}
+	Workers    int       // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E6Config) withDefaults() E6Config {
@@ -35,7 +36,8 @@ func (c E6Config) withDefaults() E6Config {
 // adversary that specifically exploits risk-neutral trust growth: the
 // backstabber cooperates until exposure caps have grown, then takes the
 // money. More risk-averse policies (larger CARA α) bound exposure growth —
-// trading a little welfare for sharply lower worst-case losses.
+// trading a little welfare for sharply lower worst-case losses. Each α cell
+// is an independent marketplace run sharded over the trial worker pool.
 func E6RiskAversion(cfg E6Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -43,7 +45,8 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 		Title: "risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary",
 		Cols:  []string{"policy", "trade rate", "completion", "welfare", "honest loss", "max loss"},
 	}
-	for _, alpha := range cfg.Alphas {
+	results, err := RunTrials(cfg.Workers, len(cfg.Alphas), func(ci int) (market.Result, error) {
+		alpha := cfg.Alphas[ci]
 		policy := func(int) decision.Policy {
 			if alpha == 0 {
 				return decision.RiskNeutral{}
@@ -59,21 +62,24 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 		}
 		agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {
-			return nil, err
+			return market.Result{}, err
 		}
 		eng, err := market.NewEngine(market.Config{
-			Seed:     cfg.Seed + 100 + int64(len(tbl.Rows)),
+			Seed:     DeriveSeed(cfg.Seed+100, ci),
 			Sessions: cfg.Sessions,
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
 		})
 		if err != nil {
-			return nil, err
+			return market.Result{}, err
 		}
-		res, err := eng.Run()
-		if err != nil {
-			return nil, err
-		}
+		return eng.Run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, alpha := range cfg.Alphas {
+		res := results[ci]
 		name := "risk-neutral"
 		if alpha > 0 {
 			name = fmt.Sprintf("CARA α=%g", alpha)

@@ -1,8 +1,6 @@
 package eval
 
 import (
-	"math/rand"
-
 	"trustcoop/internal/exchange"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/stats"
@@ -10,9 +8,10 @@ import (
 
 // E7Config parameterises the minimal-stake distribution experiment.
 type E7Config struct {
-	Seed   int64
-	Trials int   // bundles per size; 0 means 500
-	Sizes  []int // nil means {2, 4, 8, 16, 32, 64}
+	Seed    int64
+	Trials  int   // bundles per size; 0 means 500
+	Sizes   []int // nil means {2, 4, 8, 16, 32, 64}
+	Workers int   // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E7Config) withDefaults() E7Config {
@@ -31,7 +30,8 @@ func (c E7Config) withDefaults() E7Config {
 // of the bundle cost. The paper's case for trust-awareness rests on Δ*
 // staying substantial (an isolated newcomer cannot trade safely) while L*
 // shrinks as bundles get more granular — finer chunks mean less needs to be
-// at risk at any moment.
+// at risk at any moment. Each bundle-size cell is an independent sharded
+// trial with its own seed-derived stream.
 func E7MinimalStake(cfg E7Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -39,34 +39,44 @@ func E7MinimalStake(cfg E7Config) (*Table, error) {
 		Title: "minimal stake Δ* and minimal exposure L* as % of bundle cost",
 		Cols:  []string{"items", "Δ*/cost p50", "Δ*/cost p90", "L*/cost p50", "L*/cost p90", "L*≤5% share"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, n := range cfg.Sizes {
+	type cellResult struct {
+		dStar, lStar []float64
+		smallL       int
+	}
+	results, err := RunTrials(cfg.Workers, len(cfg.Sizes), func(ci int) (cellResult, error) {
+		rng := shardRng(cfg.Seed, ci)
 		gen := goods.DefaultGenConfig()
-		gen.Items = n
-		var dStar, lStar []float64
-		smallL := 0
+		gen.Items = cfg.Sizes[ci]
+		var res cellResult
 		for trial := 0; trial < cfg.Trials; trial++ {
 			bundle, err := goods.Generate(gen, rng)
 			if err != nil {
-				return nil, err
+				return cellResult{}, err
 			}
 			terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
 			cost := bundle.TotalCost().Float64()
 			d := exchange.MinimalStake(terms).Float64() / cost
 			l := exchange.MinimalExposure(terms).Float64() / cost
-			dStar = append(dStar, d)
-			lStar = append(lStar, l)
+			res.dStar = append(res.dStar, d)
+			res.lStar = append(res.lStar, l)
 			if l <= 0.05 {
-				smallL++
+				res.smallL++
 			}
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, n := range cfg.Sizes {
+		res := results[ci]
 		tbl.AddRow(
 			itoa(n),
-			pct(stats.Percentile(dStar, 50)),
-			pct(stats.Percentile(dStar, 90)),
-			pct(stats.Percentile(lStar, 50)),
-			pct(stats.Percentile(lStar, 90)),
-			pct(float64(smallL)/float64(cfg.Trials)),
+			pct(stats.Percentile(res.dStar, 50)),
+			pct(stats.Percentile(res.dStar, 90)),
+			pct(stats.Percentile(res.lStar, 50)),
+			pct(stats.Percentile(res.lStar, 90)),
+			pct(float64(res.smallL)/float64(cfg.Trials)),
 		)
 	}
 	return tbl, nil

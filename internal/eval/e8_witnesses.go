@@ -18,6 +18,7 @@ type E8Config struct {
 	Interactions int       // 0 means 60 × Peers
 	LiarPct      []float64 // lying-reporter fractions; nil means {0, 0.15, 0.3, 0.45}
 	Replicas     []int     // replica queries per count; nil means {1, 3, 7}
+	Workers      int       // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E8Config) withDefaults() E8Config {
@@ -48,6 +49,9 @@ func (c E8Config) withDefaults() E8Config {
 // peers instead of the cheaters who cheated them) and (b) the same fraction
 // of *storage* peers hide the data they hold. Reported: precision and
 // recall of cheater detection per liar fraction and replica-vote count.
+// Each (liar fraction, replicas) cell builds its own grid and population
+// from parameters-derived seeds, so the cells shard over the worker pool
+// with identical tables for every worker count.
 func E8AdversarialWitnesses(cfg E8Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -55,18 +59,31 @@ func E8AdversarialWitnesses(cfg E8Config) (*Table, error) {
 		Title: "cheater detection under lying reporters and Byzantine storage (pgrid)",
 		Cols:  []string{"liars", "replicas", "precision", "recall", "F1"},
 	}
+	type cell struct {
+		liarPct  float64
+		replicas int
+	}
+	var cells []cell
 	for _, liarPct := range cfg.LiarPct {
 		for _, replicas := range cfg.Replicas {
-			precision, recall, err := runE8Cell(cfg, liarPct, replicas)
-			if err != nil {
-				return nil, err
-			}
-			f1Score := 0.0
-			if precision+recall > 0 {
-				f1Score = 2 * precision * recall / (precision + recall)
-			}
-			tbl.AddRow(pct(liarPct), itoa(replicas), f3(precision), f3(recall), f3(f1Score))
+			cells = append(cells, cell{liarPct, replicas})
 		}
+	}
+	type cellResult struct{ precision, recall float64 }
+	results, err := RunTrials(cfg.Workers, len(cells), func(ci int) (cellResult, error) {
+		precision, recall, err := runE8Cell(cfg, cells[ci].liarPct, cells[ci].replicas)
+		return cellResult{precision, recall}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		precision, recall := results[ci].precision, results[ci].recall
+		f1Score := 0.0
+		if precision+recall > 0 {
+			f1Score = 2 * precision * recall / (precision + recall)
+		}
+		tbl.AddRow(pct(c.liarPct), itoa(c.replicas), f3(precision), f3(recall), f3(f1Score))
 	}
 	return tbl, nil
 }

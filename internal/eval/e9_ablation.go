@@ -11,9 +11,10 @@ import (
 
 // E9Config parameterises the design-choice ablation.
 type E9Config struct {
-	Seed   int64
-	Trials int // bundles per cell; 0 means 300
-	Items  int // bundle size; 0 means 12
+	Seed    int64
+	Trials  int // bundles per cell; 0 means 300
+	Items   int // bundle size; 0 means 12
+	Workers int // trial worker pool; 0 means DefaultWorkers()
 }
 
 func (c E9Config) withDefaults() E9Config {
@@ -26,6 +27,30 @@ func (c E9Config) withDefaults() E9Config {
 	return c
 }
 
+// e9Orders is the fixed delivery-order portfolio the ablation scores.
+var e9Orders = []struct {
+	name string
+	make func(b goods.Bundle, rng *rand.Rand) []goods.Item
+}{
+	{"desc-cost (lawler)", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return reverse(b.SortedByCost()) }},
+	{"asc-cost", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return b.SortedByCost() }},
+	{"asc-worth", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return b.SortedByWorth() }},
+	{"desc-worth", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return reverse(b.SortedByWorth()) }},
+	{"random", func(b goods.Bundle, rng *rand.Rand) []goods.Item {
+		items := b.Clone().Items
+		rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		return items
+	}},
+}
+
+// e9Trial is the outcome of one bundle: per-order feasibility flags plus the
+// lazy/eager exposure split.
+type e9Trial struct {
+	safeOK, expoOK               []bool
+	lazyConsumer, lazySupplier   float64
+	eagerConsumer, eagerSupplier float64
+}
+
 // E9Ablation isolates the two design choices behind the scheduler:
 //
 //   - the delivery order: the Lawler order (descending cost) is provably
@@ -35,6 +60,9 @@ func (c E9Config) withDefaults() E9Config {
 //     every instance;
 //   - the payment policy: lazy vs eager payments do not change feasibility
 //     but shift exposure between the parties.
+//
+// Every trial is an independent bundle on its own seed-derived stream, so
+// the trials shard over the worker pool and reduce in trial order.
 func E9Ablation(cfg E9Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
@@ -43,36 +71,14 @@ func E9Ablation(cfg E9Config) (*Table, error) {
 		Cols:  []string{"variant", "safe band ok", "exposure band ok", "consumer exp (mean)", "supplier exp (mean)"},
 	}
 
-	type orderFn struct {
-		name string
-		make func(b goods.Bundle, rng *rand.Rand) []goods.Item
-	}
-	orders := []orderFn{
-		{"desc-cost (lawler)", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return reverse(b.SortedByCost()) }},
-		{"asc-cost", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return b.SortedByCost() }},
-		{"asc-worth", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return b.SortedByWorth() }},
-		{"desc-worth", func(b goods.Bundle, _ *rand.Rand) []goods.Item { return reverse(b.SortedByWorth()) }},
-		{"random", func(b goods.Bundle, rng *rand.Rand) []goods.Item {
-			items := b.Clone().Items
-			rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
-			return items
-		}},
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	gen := goods.DefaultGenConfig()
 	gen.Items = cfg.Items
 
-	type cell struct {
-		safeOK, expoOK int
-	}
-	results := make([]cell, len(orders))
-	var lazyConsumer, lazySupplier, eagerConsumer, eagerSupplier stats.Sample
-
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials, err := RunTrials(cfg.Workers, cfg.Trials, func(ti int) (e9Trial, error) {
+		rng := shardRng(cfg.Seed, ti)
 		bundle, err := goods.Generate(gen, rng)
 		if err != nil {
-			return nil, err
+			return e9Trial{}, err
 		}
 		terms := exchange.Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
 		stake := exchange.MinimalStake(terms)
@@ -80,17 +86,18 @@ func E9Ablation(cfg E9Config) (*Table, error) {
 		safeBands := exchange.SafeBands(exchange.Stakes{Supplier: stake})
 		expoBands := exchange.TrustAwareBands(exchange.ExposureCaps{Supplier: expo, Consumer: expo})
 
-		for i, o := range orders {
+		res := e9Trial{safeOK: make([]bool, len(e9Orders)), expoOK: make([]bool, len(e9Orders))}
+		for i, o := range e9Orders {
 			order := o.make(bundle, rng)
 			if _, err := exchange.PlanForOrder(terms, safeBands, order, exchange.Options{}); err == nil {
-				results[i].safeOK++
+				res.safeOK[i] = true
 			} else if !errors.Is(err, exchange.ErrNoFeasibleSequence) {
-				return nil, err
+				return e9Trial{}, err
 			}
 			if _, err := exchange.PlanForOrder(terms, expoBands, order, exchange.Options{}); err == nil {
-				results[i].expoOK++
+				res.expoOK[i] = true
 			} else if !errors.Is(err, exchange.ErrNoFeasibleSequence) {
-				return nil, err
+				return e9Trial{}, err
 			}
 		}
 
@@ -100,23 +107,45 @@ func E9Ablation(cfg E9Config) (*Table, error) {
 		roomyBands := exchange.TrustAwareBands(exchange.ExposureCaps{Supplier: 3 * expo, Consumer: 3 * expo})
 		lazy, err := exchange.Schedule(terms, roomyBands, exchange.Options{Policy: exchange.PayLazy})
 		if err != nil {
-			return nil, err
+			return e9Trial{}, err
 		}
 		eager, err := exchange.Schedule(terms, roomyBands, exchange.Options{Policy: exchange.PayEager})
 		if err != nil {
-			return nil, err
+			return e9Trial{}, err
 		}
-		lazyConsumer.Add(lazy.Report.MaxConsumerExposure.Float64())
-		lazySupplier.Add(lazy.Report.MaxSupplierExposure.Float64())
-		eagerConsumer.Add(eager.Report.MaxConsumerExposure.Float64())
-		eagerSupplier.Add(eager.Report.MaxSupplierExposure.Float64())
+		res.lazyConsumer = lazy.Report.MaxConsumerExposure.Float64()
+		res.lazySupplier = lazy.Report.MaxSupplierExposure.Float64()
+		res.eagerConsumer = eager.Report.MaxConsumerExposure.Float64()
+		res.eagerSupplier = eager.Report.MaxSupplierExposure.Float64()
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for i, o := range orders {
+	type cell struct{ safeOK, expoOK int }
+	counts := make([]cell, len(e9Orders))
+	var lazyConsumer, lazySupplier, eagerConsumer, eagerSupplier stats.Sample
+	for _, tr := range trials {
+		for i := range e9Orders {
+			if tr.safeOK[i] {
+				counts[i].safeOK++
+			}
+			if tr.expoOK[i] {
+				counts[i].expoOK++
+			}
+		}
+		lazyConsumer.Add(tr.lazyConsumer)
+		lazySupplier.Add(tr.lazySupplier)
+		eagerConsumer.Add(tr.eagerConsumer)
+		eagerSupplier.Add(tr.eagerSupplier)
+	}
+
+	for i, o := range e9Orders {
 		tbl.AddRow(
 			o.name,
-			pct(float64(results[i].safeOK)/float64(cfg.Trials)),
-			pct(float64(results[i].expoOK)/float64(cfg.Trials)),
+			pct(float64(counts[i].safeOK)/float64(cfg.Trials)),
+			pct(float64(counts[i].expoOK)/float64(cfg.Trials)),
 			"-", "-",
 		)
 	}

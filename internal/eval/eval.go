@@ -5,50 +5,51 @@ import (
 	"sort"
 )
 
-// Runner regenerates one experiment with default configuration.
-type Runner func(seed int64, quick bool) (*Table, error)
+// Runner regenerates one experiment.
+type Runner func(rc RunConfig) (*Table, error)
 
-// All returns the experiment registry: id → runner. The quick flag shrinks
-// trial counts for smoke tests and benchmarks.
+// All returns the experiment registry: id → runner. RunConfig.Quick shrinks
+// trial counts for smoke tests and benchmarks; RunConfig.Workers bounds the
+// trial worker pool (tables are identical for every worker count).
 func All() map[string]Runner {
 	return map[string]Runner{
-		"E1": func(seed int64, quick bool) (*Table, error) {
-			cfg := E1Config{Seed: seed}
-			if quick {
+		"E1": func(rc RunConfig) (*Table, error) {
+			cfg := E1Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Trials = 30
 				cfg.Sizes = []int{2, 8}
 			}
 			return E1SafeExistence(cfg)
 		},
-		"E2": func(seed int64, quick bool) (*Table, error) {
-			cfg := E2Config{Seed: seed}
-			if quick {
+		"E2": func(rc RunConfig) (*Table, error) {
+			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
 				cfg.CheaterPct = []float64{0, 0.4}
 			}
 			return E2CompletionWelfare(cfg)
 		},
-		"E3": func(seed int64, quick bool) (*Table, error) {
-			cfg := E3Config{Seed: seed}
-			if quick {
+		"E3": func(rc RunConfig) (*Table, error) {
+			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
 				cfg.CheaterPct = []float64{0.4}
 			}
 			return E3LossExposure(cfg)
 		},
-		"E4": func(seed int64, quick bool) (*Table, error) {
-			cfg := E4Config{Seed: seed}
-			if quick {
+		"E4": func(rc RunConfig) (*Table, error) {
+			cfg := E4Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Population = 16
 				cfg.Rounds = []int{5, 20}
 			}
 			return E4TrustLearning(cfg)
 		},
-		"E5": func(seed int64, quick bool) (*Table, error) {
-			cfg := E5Config{Seed: seed}
-			if quick {
+		"E5": func(rc RunConfig) (*Table, error) {
+			cfg := E5Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.SchedSizes = []int{8, 32}
 				cfg.SchedReps = 3
 				cfg.GridSizes = []int{64, 256}
@@ -56,26 +57,26 @@ func All() map[string]Runner {
 			}
 			return E5Complexity(cfg)
 		},
-		"E6": func(seed int64, quick bool) (*Table, error) {
-			cfg := E6Config{Seed: seed}
-			if quick {
+		"E6": func(rc RunConfig) (*Table, error) {
+			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 9
 				cfg.Alphas = []float64{0, 0.2}
 			}
 			return E6RiskAversion(cfg)
 		},
-		"E7": func(seed int64, quick bool) (*Table, error) {
-			cfg := E7Config{Seed: seed}
-			if quick {
+		"E7": func(rc RunConfig) (*Table, error) {
+			cfg := E7Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Trials = 40
 				cfg.Sizes = []int{2, 16}
 			}
 			return E7MinimalStake(cfg)
 		},
-		"E8": func(seed int64, quick bool) (*Table, error) {
-			cfg := E8Config{Seed: seed}
-			if quick {
+		"E8": func(rc RunConfig) (*Table, error) {
+			cfg := E8Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Peers = 24
 				cfg.GridPeers = 32
 				cfg.Interactions = 600
@@ -84,9 +85,9 @@ func All() map[string]Runner {
 			}
 			return E8AdversarialWitnesses(cfg)
 		},
-		"E9": func(seed int64, quick bool) (*Table, error) {
-			cfg := E9Config{Seed: seed}
-			if quick {
+		"E9": func(rc RunConfig) (*Table, error) {
+			cfg := E9Config{Seed: rc.Seed, Workers: rc.workers()}
+			if rc.Quick {
 				cfg.Trials = 30
 				cfg.Items = 8
 			}
@@ -107,10 +108,10 @@ func IDs() []string {
 }
 
 // Run executes one experiment by id.
-func Run(id string, seed int64, quick bool) (*Table, error) {
+func Run(id string, rc RunConfig) (*Table, error) {
 	r, ok := All()[id]
 	if !ok {
 		return nil, fmt.Errorf("eval: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(seed, quick)
+	return r(rc)
 }

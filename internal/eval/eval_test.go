@@ -39,7 +39,7 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if _, err := Run("E99", 1, true); err == nil {
+	if _, err := Run("E99", RunConfig{Seed: 1, Quick: true}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -63,7 +63,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			tbl, err := Run(id, 42, true)
+			tbl, err := Run(id, RunConfig{Seed: 42, Quick: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,11 +84,11 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestExperimentsDeterministic(t *testing.T) {
 	for _, id := range []string{"E1", "E7", "E9"} {
-		a, err := Run(id, 7, true)
+		a, err := Run(id, RunConfig{Seed: 7, Quick: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(id, 7, true)
+		b, err := Run(id, RunConfig{Seed: 7, Quick: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 }
 
 func TestE3NeverViolatesExposure(t *testing.T) {
-	tbl, err := Run("E3", 3, true)
+	tbl, err := Run("E3", RunConfig{Seed: 3, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

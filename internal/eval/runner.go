@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trustcoop/internal/seedmix"
+)
+
+// RunConfig parameterises one experiment regeneration.
+type RunConfig struct {
+	// Seed drives all experiment randomness.
+	Seed int64
+	// Quick shrinks trial counts for smoke tests and benchmarks.
+	Quick bool
+	// Workers bounds the worker pool used for independent trials; 0 means
+	// DefaultWorkers(). Tables are identical for every worker count: each
+	// trial draws from its own seed-derived random stream and results reduce
+	// in trial order.
+	Workers int
+}
+
+func (rc RunConfig) workers() int {
+	if rc.Workers <= 0 {
+		return DefaultWorkers()
+	}
+	return rc.Workers
+}
+
+// DefaultWorkers is the worker-pool width used when a config leaves Workers
+// at zero: the process's GOMAXPROCS, i.e. "as parallel as the hardware
+// allows".
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// DeriveSeed mixes a base seed with a trial index through the repository's
+// shared SplitMix64 rule (internal/seedmix, also used by the market engine's
+// per-session streams), decorrelating the per-trial streams even for
+// adjacent indices so shard boundaries never shift results.
+func DeriveSeed(base int64, idx int) int64 {
+	return seedmix.Derive(base, uint64(idx))
+}
+
+// shardRng returns the random stream of trial idx under base.
+func shardRng(base int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(base, idx)))
+}
+
+// RunTrials executes fn(0), …, fn(n−1) on a pool of at most workers
+// goroutines and returns the results indexed by trial. Each trial must be
+// self-contained (derive its randomness from its index, e.g. via DeriveSeed);
+// then the returned slice — and any reduction over it in index order — is
+// byte-identical for every worker count. The first error cancels the
+// remaining trials and is returned.
+func RunTrials[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n // lowest failing trial index observed
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					// Keep the lowest-index error so the surfaced diagnostic
+					// does not depend on goroutine scheduling. (Which trials
+					// got to run before the stop still may, but the winner
+					// among observed failures is deterministic per run shape.)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if stop.Load() {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunTrialsIndexedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out, err := RunTrials(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunTrialsEmpty(t *testing.T) {
+	out, err := RunTrials(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("empty run: out=%v err=%v", out, err)
+	}
+}
+
+func TestRunTrialsPropagatesErrorAndStops(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := RunTrials(4, 10_000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Errorf("error did not stop the pool: %d trials ran", n)
+	}
+}
+
+func TestRunTrialsMoreWorkersThanTrials(t *testing.T) {
+	out, err := RunTrials(64, 3, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("base seed ignored")
+	}
+}
+
+// TestTablesIdenticalAcrossWorkerCounts is the headline determinism
+// guarantee of the sharded runner: every experiment renders byte-identical
+// tables whether its trials run on one worker or many. E5 is exempt — it
+// measures wall-clock time.
+func TestTablesIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "E5" {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			base, err := Run(id, RunConfig{Seed: 11, Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 7} {
+				got, err := Run(id, RunConfig{Seed: 11, Quick: true, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.String() != base.String() {
+					t.Errorf("workers=%d table differs from workers=1:\n%s\nvs\n%s", workers, got, base)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRunTrialsOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTrials(workers, 64, func(i int) (int, error) { return i, nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package exchange
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustcoop/internal/goods"
+)
+
+// TestScheduleFastPathAllocs locks in the allocation budget of the scheduler
+// hot path: on an all-non-negative-surplus bundle the first candidate order
+// is provably optimal, so a Schedule call resolves without the exact search
+// and must stay within a small constant number of allocations (the returned
+// plan itself plus pool-warmup noise). The seed implementation spent ~47
+// allocations per call here; the pooled-scratch path spends ~4.
+func TestScheduleFastPathAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen := goods.DefaultGenConfig() // positive margins: every surplus ≥ 0
+	gen.Items = 64
+	bundle := goods.MustGenerate(gen, rng)
+	for _, it := range bundle.Items {
+		if it.Surplus() < 0 {
+			t.Fatalf("generator produced negative surplus item %+v", it)
+		}
+	}
+	terms := Terms{Bundle: bundle, Price: bundle.PriceAt(0.5)}
+	stake := MinimalStake(terms)
+	caps := ExposureCaps{Supplier: MinimalExposure(terms), Consumer: MinimalExposure(terms)}
+
+	warm := func() {
+		if _, err := ScheduleSafe(terms, Stakes{Supplier: stake}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ScheduleTrustAware(terms, caps, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm() // populate the scratch pool before measuring
+
+	const maxAllocs = 8
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := ScheduleSafe(terms, Stakes{Supplier: stake}, Options{}); err != nil {
+			t.Error(err)
+		}
+	}); got > maxAllocs {
+		t.Errorf("ScheduleSafe fast path: %.1f allocs/op, budget %d", got, maxAllocs)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := ScheduleTrustAware(terms, caps, Options{}); err != nil {
+			t.Error(err)
+		}
+	}); got > maxAllocs {
+		t.Errorf("ScheduleTrustAware fast path: %.1f allocs/op, budget %d", got, maxAllocs)
+	}
+}

@@ -81,21 +81,35 @@ func PlanForOrder(t Terms, b Bands, order []goods.Item, opt Options) (Plan, erro
 	if err := b.Validate(); err != nil {
 		return Plan{}, err
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	return planForOrderCtx(newBandCtx(t, b), t, b, order, opt, sc)
+}
+
+// planForOrderCtx is PlanForOrder after input validation, with the band
+// context (cached bundle totals) and scratch buffers supplied by the caller
+// so Schedule pays for neither more than once across its candidate orders.
+func planForOrderCtx(ctx bandCtx, t Terms, b Bands, order []goods.Item, opt Options, sc *schedScratch) (Plan, error) {
 	if len(order) != t.Bundle.Len() {
 		return Plan{}, fmt.Errorf("exchange: order has %d items, bundle has %d", len(order), t.Bundle.Len())
 	}
-	seq, err := paymentsForOrder(newBandCtx(t, b), t.Price, order, opt)
+	scratch, err := paymentsForOrder(ctx, t.Price, order, opt, sc.seq[:0])
+	sc.seq = scratch[:0] // keep any capacity growth for the next attempt
 	if err != nil {
 		return Plan{}, err
 	}
-	rep, err := Validate(t, b, seq)
+	// The constructed plan escapes; give it an exactly-sized private slice.
+	seq := make(Sequence, len(scratch))
+	copy(seq, scratch)
+	rep, err := validateSeq(ctx, t, seq, sc.wantSet(t.Bundle))
 	if err != nil {
 		return Plan{}, fmt.Errorf("exchange: internal: constructed plan failed validation: %w", err)
 	}
 	return Plan{Terms: t, Bands: b, Steps: seq, Report: rep}, nil
 }
 
-// paymentsForOrder interleaves payments with the given delivery order.
+// paymentsForOrder interleaves payments with the given delivery order,
+// appending into seq (pass a zero-length buffer to reuse its capacity).
 //
 // Invariants maintained (see DESIGN.md): the band's upper edge is
 // non-decreasing in the delivered set, so once m ≤ hi holds it holds forever;
@@ -103,21 +117,22 @@ func PlanForOrder(t Terms, b Bands, order []goods.Item, opt Options) (Plan, erro
 // raises m to the edge. A delivery of x from delivered-set D is therefore
 // admissible iff lo(D∪{x}) ≤ hi(D), and an order is feasible iff every step
 // satisfies that inequality plus the boundary conditions at start and end.
-func paymentsForOrder(ctx bandCtx, price goods.Money, order []goods.Item, opt Options) (Sequence, error) {
-	var (
-		seq    Sequence
-		m      goods.Money
-		cd, wd goods.Money
-	)
+func paymentsForOrder(ctx bandCtx, price goods.Money, order []goods.Item, opt Options, seq Sequence) (Sequence, error) {
+	var m, cd, wd goods.Money
 	lo0, hi0 := ctx.rangeAt(0, 0)
 	if m < lo0 || m > hi0 {
-		return nil, fmt.Errorf("%w: initial state outside band [%v, %v]", ErrNoFeasibleSequence, lo0, hi0)
+		return seq, fmt.Errorf("%w: initial state outside band [%v, %v]", ErrNoFeasibleSequence, lo0, hi0)
+	}
+	if need := len(seq) + 2*len(order) + 1; cap(seq) < need {
+		grown := make(Sequence, len(seq), need)
+		copy(grown, seq)
+		seq = grown
 	}
 	for _, it := range order {
 		_, hiHere := ctx.rangeAt(cd, wd)
 		loNext, _ := ctx.rangeAt(cd+it.Cost, wd+it.Worth)
 		if loNext > hiHere {
-			return nil, fmt.Errorf("%w: delivering %q needs m ≥ %v but band tops out at %v", ErrNoFeasibleSequence, it.ID, loNext, hiHere)
+			return seq, fmt.Errorf("%w: delivering %q needs m ≥ %v but band tops out at %v", ErrNoFeasibleSequence, it.ID, loNext, hiHere)
 		}
 		target := paymentTarget(m, loNext, hiHere, price, opt)
 		if target > m {
@@ -129,12 +144,12 @@ func paymentsForOrder(ctx bandCtx, price goods.Money, order []goods.Item, opt Op
 		wd += it.Worth
 	}
 	if m > price {
-		return nil, fmt.Errorf("%w: cumulative payments %v exceed price %v", ErrNoFeasibleSequence, m, price)
+		return seq, fmt.Errorf("%w: cumulative payments %v exceed price %v", ErrNoFeasibleSequence, m, price)
 	}
 	if m < price {
 		loEnd, hiEnd := ctx.rangeAt(cd, wd)
 		if price < loEnd || price > hiEnd {
-			return nil, fmt.Errorf("%w: final settlement %v outside band [%v, %v]", ErrNoFeasibleSequence, price, loEnd, hiEnd)
+			return seq, fmt.Errorf("%w: final settlement %v outside band [%v, %v]", ErrNoFeasibleSequence, price, loEnd, hiEnd)
 		}
 		seq = append(seq, Step{Kind: StepPay, Amount: price - m})
 	}

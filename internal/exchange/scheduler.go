@@ -3,7 +3,6 @@ package exchange
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"trustcoop/internal/goods"
 )
@@ -41,7 +40,11 @@ func ScheduleTrustAware(t Terms, c ExposureCaps, opt Options) (Plan, error) {
 //  3. an exact memoised subset search, bounded by Options.SearchBudget.
 //
 // The overall cost is O(n²) for the common case; the exact search only runs
-// when every heuristic order fails.
+// when every heuristic order fails. The hot path is allocation-lean: sorted
+// item views, the payment construction buffer and the validation set all come
+// from a pooled scratch, and candidate orders are derived lazily from at most
+// two sorts, so a call that succeeds on its first candidate allocates only
+// the returned plan.
 func Schedule(t Terms, b Bands, opt Options) (Plan, error) {
 	if err := t.Validate(); err != nil {
 		return Plan{}, err
@@ -49,8 +52,11 @@ func Schedule(t Terms, b Bands, opt Options) (Plan, error) {
 	if err := b.Validate(); err != nil {
 		return Plan{}, err
 	}
-	for _, order := range candidateOrders(t, b) {
-		plan, err := PlanForOrder(t, b, order, opt)
+	ctx := newBandCtx(t, b)
+	sc := getScratch()
+	defer putScratch(sc)
+	for _, kind := range candidateKinds(b) {
+		plan, err := planForOrderCtx(ctx, t, b, sc.orderOf(kind, t.Bundle), opt, sc)
 		if err == nil {
 			return plan, nil
 		}
@@ -67,28 +73,7 @@ func Schedule(t Terms, b Bands, opt Options) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	return PlanForOrder(t, b, order, opt)
-}
-
-// candidateOrders returns the heuristic delivery-order portfolio, the
-// provably-good order for the active band family first.
-func candidateOrders(t Terms, b Bands) [][]goods.Item {
-	var orders [][]goods.Item
-	switch {
-	case b.Safety && !b.Exposure:
-		orders = append(orders, lawlerOrder(t.Bundle))
-	case b.Exposure && !b.Safety:
-		orders = append(orders, t.Bundle.SortedByCost())
-	default:
-		orders = append(orders, lawlerOrder(t.Bundle), t.Bundle.SortedByCost())
-	}
-	orders = append(orders,
-		reverseItems(t.Bundle.SortedByCost()), // descending cost
-		t.Bundle.SortedByWorth(),
-		reverseItems(t.Bundle.SortedByWorth()),
-		sortedBySurplus(t.Bundle),
-	)
-	return orders
+	return planForOrderCtx(ctx, t, b, order, opt, sc)
 }
 
 // lawlerOrder computes the delivery order that maximises the minimum safety
@@ -137,19 +122,6 @@ func reverseItems(items []goods.Item) []goods.Item {
 		out[len(items)-1-i] = it
 	}
 	return out
-}
-
-func sortedBySurplus(b goods.Bundle) []goods.Item {
-	items := make([]goods.Item, len(b.Items))
-	copy(items, b.Items)
-	sort.Slice(items, func(i, j int) bool {
-		si, sj := items[i].Surplus(), items[j].Surplus()
-		if si != sj {
-			return si < sj
-		}
-		return items[i].ID < items[j].ID
-	})
-	return items
 }
 
 func allNonNegativeSurplus(b goods.Bundle) bool {

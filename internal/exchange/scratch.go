@@ -1,0 +1,146 @@
+package exchange
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+
+	"trustcoop/internal/goods"
+)
+
+// orderKind names one member of the heuristic delivery-order portfolio.
+// Orders are derived lazily from at most two sorts of the bundle, so trying
+// the first (usually sufficient) candidate never pays for the rest.
+type orderKind int
+
+const (
+	ordDescCost   orderKind = iota // Lawler order: descending supplier cost
+	ordAscCost                     // ascending supplier cost
+	ordAscWorth                    // ascending consumer worth
+	ordDescWorth                   // descending consumer worth
+	ordAscSurplus                  // ascending surplus Vc−Vs
+)
+
+// schedScratch holds the reusable buffers of one Schedule call: the sorted
+// item views the candidate orders are cut from, the payment-sequence
+// construction buffer, and the validation set. Instances are pooled; all
+// slices keep their capacity across calls so the steady state allocates
+// nothing beyond the returned plan.
+type schedScratch struct {
+	byCost    []goods.Item // ascending cost, tie-break ID
+	byWorth   []goods.Item // ascending worth, tie-break ID
+	bySurplus []goods.Item // ascending surplus, tie-break ID
+	reversed  []goods.Item // reversal buffer for the descending orders
+	seq       Sequence     // payment-plan construction buffer
+	want      map[string]goods.Item
+
+	haveCost, haveWorth, haveSurplus bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(schedScratch) }}
+
+func getScratch() *schedScratch  { return scratchPool.Get().(*schedScratch) }
+func putScratch(s *schedScratch) { s.reset(); scratchPool.Put(s) }
+
+func (s *schedScratch) reset() {
+	s.haveCost, s.haveWorth, s.haveSurplus = false, false, false
+	s.byCost = s.byCost[:0]
+	s.byWorth = s.byWorth[:0]
+	s.bySurplus = s.bySurplus[:0]
+	s.reversed = s.reversed[:0]
+	s.seq = s.seq[:0]
+}
+
+func (s *schedScratch) sortedByCost(b goods.Bundle) []goods.Item {
+	if !s.haveCost {
+		s.byCost = append(s.byCost[:0], b.Items...)
+		slices.SortFunc(s.byCost, goods.CompareByCost)
+		s.haveCost = true
+	}
+	return s.byCost
+}
+
+func (s *schedScratch) sortedByWorth(b goods.Bundle) []goods.Item {
+	if !s.haveWorth {
+		s.byWorth = append(s.byWorth[:0], b.Items...)
+		slices.SortFunc(s.byWorth, goods.CompareByWorth)
+		s.haveWorth = true
+	}
+	return s.byWorth
+}
+
+func (s *schedScratch) sortedBySurplus(b goods.Bundle) []goods.Item {
+	if !s.haveSurplus {
+		s.bySurplus = append(s.bySurplus[:0], b.Items...)
+		slices.SortFunc(s.bySurplus, func(a, c goods.Item) int {
+			if sa, sc := a.Surplus(), c.Surplus(); sa != sc {
+				return cmp.Compare(sa, sc)
+			}
+			return cmp.Compare(a.ID, c.ID)
+		})
+		s.haveSurplus = true
+	}
+	return s.bySurplus
+}
+
+// orderOf materialises one candidate order. Ascending orders are returned as
+// direct views of the sorted buffers; descending orders are reversed into the
+// shared reversal buffer, which stays valid until the next orderOf call.
+func (s *schedScratch) orderOf(kind orderKind, b goods.Bundle) []goods.Item {
+	switch kind {
+	case ordAscCost:
+		return s.sortedByCost(b)
+	case ordDescCost:
+		return s.reverseInto(s.sortedByCost(b))
+	case ordAscWorth:
+		return s.sortedByWorth(b)
+	case ordDescWorth:
+		return s.reverseInto(s.sortedByWorth(b))
+	default: // ordAscSurplus
+		return s.sortedBySurplus(b)
+	}
+}
+
+// wantSet (re)fills the pooled validation set with the bundle's items; the
+// replay in validateSeq consumes it, so it is rebuilt per use.
+func (s *schedScratch) wantSet(b goods.Bundle) map[string]goods.Item {
+	if s.want == nil {
+		s.want = make(map[string]goods.Item, len(b.Items))
+	} else {
+		clear(s.want)
+	}
+	for _, it := range b.Items {
+		s.want[it.ID] = it
+	}
+	return s.want
+}
+
+func (s *schedScratch) reverseInto(items []goods.Item) []goods.Item {
+	s.reversed = s.reversed[:0]
+	for i := len(items) - 1; i >= 0; i-- {
+		s.reversed = append(s.reversed, items[i])
+	}
+	return s.reversed
+}
+
+// The portfolio per band family: the provably-good order first, then the
+// alternates (first-occurrence order of the historical portfolio, with the
+// duplicate descending-cost entry of the safety-only case removed — retrying
+// an identical order cannot change the outcome).
+var (
+	kindsSafety   = []orderKind{ordDescCost, ordAscWorth, ordDescWorth, ordAscSurplus}
+	kindsExposure = []orderKind{ordAscCost, ordDescCost, ordAscWorth, ordDescWorth, ordAscSurplus}
+	kindsCombined = []orderKind{ordDescCost, ordAscCost, ordAscWorth, ordDescWorth, ordAscSurplus}
+)
+
+// candidateKinds selects the portfolio for the active band family.
+func candidateKinds(b Bands) []orderKind {
+	switch {
+	case b.Safety && !b.Exposure:
+		return kindsSafety
+	case b.Exposure && !b.Safety:
+		return kindsExposure
+	default:
+		return kindsCombined
+	}
+}

@@ -2,7 +2,7 @@ package exchange
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"trustcoop/internal/goods"
 )
@@ -33,12 +33,7 @@ func searchOrder(t Terms, b Bands, budget int) ([]goods.Item, error) {
 	// which tends to find witnesses early.
 	items := make([]goods.Item, n)
 	copy(items, t.Bundle.Items)
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Cost != items[j].Cost {
-			return items[i].Cost < items[j].Cost
-		}
-		return items[i].ID < items[j].ID
-	})
+	slices.SortFunc(items, goods.CompareByCost)
 
 	full := uint64(1)<<uint(n) - 1
 	failed := make(map[uint64]struct{})

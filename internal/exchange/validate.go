@@ -57,12 +57,17 @@ func Validate(t Terms, b Bands, seq Sequence) (Report, error) {
 	if err := b.Validate(); err != nil {
 		return Report{}, err
 	}
-	ctx := newBandCtx(t, b)
 	want := make(map[string]goods.Item, t.Bundle.Len())
 	for _, it := range t.Bundle.Items {
 		want[it.ID] = it
 	}
+	return validateSeq(newBandCtx(t, b), t, seq, want)
+}
 
+// validateSeq is the replay behind Validate, with the band context and the
+// wanted-item set supplied by the caller (Schedule reuses pooled instances of
+// both across candidate orders). It consumes want.
+func validateSeq(ctx bandCtx, t Terms, seq Sequence, want map[string]goods.Item) (Report, error) {
 	rep := Report{
 		MaxConsumerExposure:   -goods.Unlimited,
 		MaxSupplierExposure:   -goods.Unlimited,

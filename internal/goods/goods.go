@@ -1,9 +1,10 @@
 package goods
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Item is one indivisible chunk of the good being exchanged: x in the paper,
@@ -97,17 +98,30 @@ func (b Bundle) Clone() Bundle {
 	return Bundle{Items: items}
 }
 
+// CompareByCost is the canonical (ascending Cost, tie-break ID) item order
+// shared by every sort site — bundle views, the scheduler's candidate-order
+// buffers, and the exact search — so they can never silently diverge.
+func CompareByCost(a, b Item) int {
+	if a.Cost != b.Cost {
+		return cmp.Compare(a.Cost, b.Cost)
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
+// CompareByWorth is the canonical (ascending Worth, tie-break ID) item order.
+func CompareByWorth(a, b Item) int {
+	if a.Worth != b.Worth {
+		return cmp.Compare(a.Worth, b.Worth)
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
 // SortedByCost returns a copy of the items ordered by ascending Cost,
 // breaking ties by ID for determinism.
 func (b Bundle) SortedByCost() []Item {
 	items := make([]Item, len(b.Items))
 	copy(items, b.Items)
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Cost != items[j].Cost {
-			return items[i].Cost < items[j].Cost
-		}
-		return items[i].ID < items[j].ID
-	})
+	slices.SortFunc(items, CompareByCost)
 	return items
 }
 
@@ -116,12 +130,7 @@ func (b Bundle) SortedByCost() []Item {
 func (b Bundle) SortedByWorth() []Item {
 	items := make([]Item, len(b.Items))
 	copy(items, b.Items)
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Worth != items[j].Worth {
-			return items[i].Worth < items[j].Worth
-		}
-		return items[i].ID < items[j].ID
-	})
+	slices.SortFunc(items, CompareByWorth)
 	return items
 }
 

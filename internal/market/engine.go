@@ -3,7 +3,9 @@ package market
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 
 	"trustcoop/internal/agent"
 	"trustcoop/internal/core"
@@ -11,25 +13,45 @@ import (
 	"trustcoop/internal/goods"
 	"trustcoop/internal/netsim"
 	"trustcoop/internal/reputation"
+	"trustcoop/internal/seedmix"
 	"trustcoop/internal/trust"
 )
 
 // Engine runs marketplace sessions over a simulated network. Create with
 // NewEngine, drive with Run.
+//
+// Up to Config.Concurrency sessions are live at once, interleaved on the
+// virtual clock: step messages carry their session ID and are routed through
+// the live-session table, so one engine models a marketplace where many
+// exchanges are in flight simultaneously. All randomness that decides a
+// session's fate (its bundle, its defection rolls, its message loss and
+// latency) comes from a per-session stream derived from Config.Seed and the
+// session ID, and pairing draws from a dedicated stream in session-ID order —
+// so a run is exactly reproducible for a fixed (Seed, Concurrency), and
+// session outcomes do not depend on how sessions happen to interleave.
+//
+// Concurrency does change the information structure when trust is learned
+// online (StrategyTrustAware with recording estimators): a session planned
+// while its predecessors are still in flight sees staler trust than it would
+// sequentially, exactly as real overlapping exchanges would. With strategies
+// that never consult learned trust (naive, safe-only) or with static
+// estimators, results are identical across Concurrency settings.
 type Engine struct {
-	cfg    Config
-	rng    *rand.Rand
-	sim    *netsim.Simulator
-	net    *netsim.Network
-	ledger *reputation.Ledger
+	cfg     Config
+	pairRng *rand.Rand // pairing stream; drawn in session-ID order
+	sim     *netsim.Simulator
+	net     *netsim.Network
+	ledger  *reputation.Ledger
 
 	agents     []*agent.Agent
 	byID       map[trust.PeerID]*agent.Agent
 	nodeOf     map[trust.PeerID]netsim.NodeID
 	estimators map[trust.PeerID]trust.Estimator
 
-	cur    *session
-	result Result
+	sessions map[int]*session // live sessions by ID
+	nextID   int              // next session to start
+	runErr   error            // first error raised inside the event loop
+	result   Result
 }
 
 // stepMsg carries one executed exchange step from the acting party to its
@@ -42,6 +64,7 @@ type stepMsg struct {
 // session is the live state of one exchange.
 type session struct {
 	id      int
+	rng     *rand.Rand // per-session stream: bundle, defections, network draws
 	sup     *agent.Agent
 	con     *agent.Agent
 	terms   exchange.Terms
@@ -61,13 +84,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		pairRng:    rand.New(rand.NewSource(seedmix.Derive(cfg.Seed, 0))),
 		sim:        netsim.NewSimulator(cfg.Seed + 1),
 		ledger:     &reputation.Ledger{},
 		agents:     cfg.Agents,
 		byID:       make(map[trust.PeerID]*agent.Agent, len(cfg.Agents)),
 		nodeOf:     make(map[trust.PeerID]netsim.NodeID, len(cfg.Agents)),
 		estimators: make(map[trust.PeerID]trust.Estimator, len(cfg.Agents)),
+		sessions:   make(map[int]*session, cfg.Concurrency),
 	}
 	e.net = netsim.NewNetwork(e.sim, cfg.Latency)
 	e.net.SetDropRate(cfg.DropRate)
@@ -92,28 +116,57 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Ledger exposes the outcome log (for learning-curve analyses).
+// Ledger exposes the outcome log (for learning-curve analyses). With
+// Concurrency > 1 events append in session *finish* order; every event still
+// carries its session ID in Round.
 func (e *Engine) Ledger() *reputation.Ledger { return e.ledger }
 
 // EstimatorOf exposes an agent's trust view (for accuracy metrics).
 func (e *Engine) EstimatorOf(id trust.PeerID) trust.Estimator { return e.estimators[id] }
 
 // Run executes the configured number of sessions and returns the aggregate
-// result. Sessions run one after another on the virtual clock.
+// result. Up to Config.Concurrency sessions are in flight at any moment on
+// the virtual clock; each finishing session backfills the freed slot.
 func (e *Engine) Run() (Result, error) {
-	for i := 0; i < e.cfg.Sessions; i++ {
-		if err := e.runSession(i); err != nil {
-			return Result{}, err
-		}
+	e.fill()
+	e.sim.Run(0)
+	if e.runErr != nil {
+		return Result{}, e.runErr
+	}
+	// Defensive: per-session timeouts guarantee the event queue drains with
+	// no session live; if one somehow survives, settle it deterministically.
+	// The simulator is drained here, so starting more sessions would schedule
+	// events that never run — mark the run exhausted before settling so the
+	// finish → fill backfill stays a no-op.
+	e.nextID = e.cfg.Sessions
+	for _, id := range slices.Sorted(maps.Keys(e.sessions)) {
+		e.finish(e.sessions[id], reputation.Event{Aborted: true})
 	}
 	e.result.Sessions = e.cfg.Sessions
 	e.result.NetStats = e.net.Stats()
 	return e.result, nil
 }
 
-func (e *Engine) runSession(id int) error {
-	sup, con := e.pickPair()
-	bundle, err := goods.Generate(e.cfg.Gen, e.rng)
+// fill starts sessions until the concurrency window is full or none remain.
+// NoTrade sessions settle immediately at start and never occupy a slot.
+func (e *Engine) fill() {
+	for e.runErr == nil && e.nextID < e.cfg.Sessions && len(e.sessions) < e.cfg.Concurrency {
+		id := e.nextID
+		e.nextID++
+		if err := e.startSession(id); err != nil {
+			e.runErr = err
+			return
+		}
+	}
+}
+
+func (e *Engine) startSession(id int) error {
+	srng := rand.New(rand.NewSource(seedmix.Derive(e.cfg.Seed, uint64(id)+1)))
+	sup, con, err := e.pickPair()
+	if err != nil {
+		return err
+	}
+	bundle, err := goods.Generate(e.cfg.Gen, srng)
 	if err != nil {
 		return err
 	}
@@ -135,8 +188,8 @@ func (e *Engine) runSession(id int) error {
 		e.result.SupplierExposure.Add(planned.Plan.Report.MaxSupplierExposure.Float64())
 	}
 
-	s := &session{id: id, sup: sup, con: con, terms: terms, steps: steps, planned: planned}
-	e.cur = s
+	s := &session{id: id, rng: srng, sup: sup, con: con, terms: terms, steps: steps, planned: planned}
+	e.sessions[id] = s
 	// Generous timeout: every step needs one message.
 	timeout := netsim.Time(len(steps)+4) * 40 * netsim.Millisecond
 	e.sim.Schedule(timeout, func() {
@@ -145,22 +198,20 @@ func (e *Engine) runSession(id int) error {
 		}
 	})
 	e.advance(s)
-	e.sim.Run(0)
-	if !s.done {
-		// Defensive: the timeout above guarantees termination.
-		e.finish(s, reputation.Event{Aborted: true})
-	}
 	return nil
 }
 
-// pickPair draws two distinct agents.
-func (e *Engine) pickPair() (sup, con *agent.Agent) {
-	i := e.rng.Intn(len(e.agents))
-	j := e.rng.Intn(len(e.agents) - 1)
+// pickPair draws two distinct agents from the pairing stream.
+func (e *Engine) pickPair() (sup, con *agent.Agent, err error) {
+	if len(e.agents) < 2 {
+		return nil, nil, fmt.Errorf("market: cannot pair a session with %d agent(s); need at least 2", len(e.agents))
+	}
+	i := e.pairRng.Intn(len(e.agents))
+	j := e.pairRng.Intn(len(e.agents) - 1)
 	if j >= i {
 		j++
 	}
-	return e.agents[i], e.agents[j]
+	return e.agents[i], e.agents[j], nil
 }
 
 // plan schedules the session according to the strategy.
@@ -229,18 +280,19 @@ func (e *Engine) advance(s *session) {
 	if role == agent.RoleSupplier {
 		to = e.nodeOf[s.con.ID]
 	}
-	e.net.Send(from, to, stepMsg{sessionID: s.id, stepIndex: s.idx - 1})
+	e.net.SendSeeded(from, to, stepMsg{sessionID: s.id, stepIndex: s.idx - 1}, s.rng)
 }
 
-// handle receives a step notification at the counterpart and hands the turn
-// back to the engine.
+// handle receives a step notification at the counterpart, routes it to its
+// session by ID, and hands the turn back to the engine. Messages for settled
+// or unknown sessions are dropped.
 func (e *Engine) handle(_ netsim.NodeID, msg netsim.Message) {
 	m, ok := msg.(stepMsg)
 	if !ok {
 		return
 	}
-	s := e.cur
-	if s == nil || s.id != m.sessionID || s.done {
+	s, live := e.sessions[m.sessionID]
+	if !live || s.done {
 		return
 	}
 	e.advance(s)
@@ -266,16 +318,18 @@ func (e *Engine) defectContext(s *session, role agent.Role) agent.DefectContext 
 		CompletionGain: completionGain,
 		Stake:          actor.Stake,
 		Progress:       float64(s.idx) / float64(len(s.steps)),
-		Rng:            e.rng,
+		Rng:            s.rng,
 	}
 }
 
-// finish settles the session: accounting, ledger, trust feedback.
+// finish settles the session: accounting, ledger, trust feedback — then
+// backfills the freed concurrency slot with the next pending session.
 func (e *Engine) finish(s *session, ev reputation.Event) {
 	if s.done {
 		return
 	}
 	s.done = true
+	delete(e.sessions, s.id)
 	ev.Supplier = s.sup.ID
 	ev.Consumer = s.con.ID
 	ev.Round = s.id
@@ -310,5 +364,5 @@ func (e *Engine) finish(s *session, ev reputation.Event) {
 			a := e.byID[id]
 			return a != nil && a.LiesAsWitness
 		})
-	e.cur = nil
+	e.fill()
 }

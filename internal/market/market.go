@@ -55,6 +55,12 @@ type Config struct {
 	Seed int64
 	// Sessions is the number of exchange sessions to run.
 	Sessions int
+	// Concurrency is the number of sessions kept in flight simultaneously on
+	// the virtual clock; 0 or 1 runs sessions strictly one after another.
+	// Session outcomes are interleaving-independent (each session draws its
+	// randomness from its own seeded stream), but with learning estimators a
+	// concurrent session plans against staler trust — see Engine.
+	Concurrency int
 	// Agents is the population; at least two.
 	Agents []*agent.Agent
 	// EstimatorOf supplies each agent's trust view. nil gives every agent
@@ -82,6 +88,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Sessions <= 0 {
 		return c, fmt.Errorf("market: sessions must be positive, have %d", c.Sessions)
+	}
+	if c.Concurrency < 0 {
+		return c, fmt.Errorf("market: concurrency must be non-negative, have %d", c.Concurrency)
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 1
 	}
 	if c.Gen.Items == 0 {
 		c.Gen = goods.DefaultGenConfig()

@@ -114,6 +114,15 @@ func (n *Network) Stats() Stats { return n.stats }
 // counted and silently discarded — like the real network the model stands
 // in for, the sender learns nothing.
 func (n *Network) Send(from, to NodeID, msg Message) {
+	n.SendSeeded(from, to, msg, n.sim.Rand())
+}
+
+// SendSeeded is Send with the loss and latency draws taken from rng instead
+// of the simulator's shared source. Callers interleaving several independent
+// flows on one network (e.g. concurrent marketplace sessions) use it to keep
+// each flow's randomness self-contained, so a flow's fate does not depend on
+// how the flows happen to interleave on the virtual clock.
+func (n *Network) SendSeeded(from, to NodeID, msg Message, rng *rand.Rand) {
 	n.stats.Sent++
 	h, ok := n.handlers[to]
 	if !ok {
@@ -124,11 +133,11 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 		n.stats.Partitioned++
 		return
 	}
-	if n.dropRate > 0 && n.sim.Rand().Float64() < n.dropRate {
+	if n.dropRate > 0 && rng.Float64() < n.dropRate {
 		n.stats.Dropped++
 		return
 	}
-	delay := n.latency.Latency(from, to, n.sim.Rand())
+	delay := n.latency.Latency(from, to, rng)
 	n.sim.Schedule(delay, func() {
 		n.stats.Delivered++
 		h(from, msg)

@@ -1,0 +1,20 @@
+package seedmix
+
+import "testing"
+
+func TestDeriveDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := uint64(0); i < 10_000; i++ {
+		s := Derive(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at stream %d", i)
+		}
+		seen[s] = true
+	}
+	if Derive(1, 0) == Derive(2, 0) {
+		t.Error("base seed ignored")
+	}
+	if Derive(7, 3) != Derive(7, 3) {
+		t.Error("not deterministic")
+	}
+}
