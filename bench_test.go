@@ -1,7 +1,7 @@
 package trustcoop
 
 // The repository-wide benchmark harness: one benchmark per experiment
-// (E1–E9, the evaluation suite that stands in for the paper's missing
+// (E1–E10, the evaluation suite that stands in for the paper's missing
 // quantitative section — see EXPERIMENTS.md) plus micro-benchmarks for the
 // hot paths whose complexity the paper makes claims about (the quadratic
 // scheduler and the logarithmic P-Grid lookup).
@@ -12,15 +12,18 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"trustcoop/internal/agent"
+	"trustcoop/internal/benchutil"
 	"trustcoop/internal/eval"
 	"trustcoop/internal/exchange"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
 	"trustcoop/internal/pgrid"
 	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
 	"trustcoop/internal/trust/mui"
 )
 
@@ -57,6 +60,7 @@ func BenchmarkE6RiskAversion(b *testing.B)         { benchExperiment(b, "E6") }
 func BenchmarkE7MinimalStake(b *testing.B)         { benchExperiment(b, "E7") }
 func BenchmarkE8AdversarialWitnesses(b *testing.B) { benchExperiment(b, "E8") }
 func BenchmarkE9Ablation(b *testing.B)             { benchExperiment(b, "E9") }
+func BenchmarkE10BackendAblation(b *testing.B)     { benchExperiment(b, "E10") }
 
 // BenchmarkMarketSessionsConcurrent measures the engine's in-flight session
 // window: the same workload with sessions strictly sequential vs interleaved
@@ -163,6 +167,90 @@ func BenchmarkPGridQuery(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// openComplaintStoreBench opens a warmed backend via the setup shared with
+// cmd/bench (internal/benchutil), so both benchmark surfaces measure the
+// same steady state.
+func openComplaintStoreBench(b *testing.B, spec string, ids []trust.PeerID) complaints.Store {
+	b.Helper()
+	store, err := benchutil.OpenStore(spec, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// closeComplaintStoreBench stops a closable store's background workers so
+// one sub-benchmark's goroutines cannot pollute the next one's timing.
+func closeComplaintStoreBench(b *testing.B, store complaints.Store) {
+	b.Helper()
+	if err := benchutil.CloseStore(store); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// complaintStoreBenchSpecs are the concurrency-safe reputation backends the
+// store benchmarks compare (pgrid is single-threaded by design).
+var complaintStoreBenchSpecs = []string{"memory", "sharded", "async:sharded"}
+
+// BenchmarkComplaintStoreFile is the concurrent write path of the
+// reputation data plane: parallel goroutines filing complaints into one
+// shared store. On multi-core hosts the lock-striped ShardedStore scales
+// where MemoryStore's single mutex serialises.
+func BenchmarkComplaintStoreFile(b *testing.B) {
+	ids := benchutil.StorePeers(512)
+	for _, spec := range complaintStoreBenchSpecs {
+		b.Run(spec, func(b *testing.B) {
+			store := openComplaintStoreBench(b, spec, ids)
+			var ctr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(ctr.Add(1))
+					c := complaints.Complaint{From: ids[(i*7)%len(ids)], About: ids[(i*13+3)%len(ids)]}
+					if err := store.File(c); err != nil {
+						// b.Fatal must not run on RunParallel workers.
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if f, ok := store.(complaints.Flusher); ok {
+				if err := f.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			closeComplaintStoreBench(b, store)
+		})
+	}
+}
+
+// BenchmarkComplaintStoreAssess is the read-dominated assessment path: one
+// complaint-product read per op, the operation the trust-aware planner
+// issues population-wide on every session. The sharded store serves it with
+// a single combined lookup.
+func BenchmarkComplaintStoreAssess(b *testing.B) {
+	ids := benchutil.StorePeers(512)
+	for _, spec := range complaintStoreBenchSpecs {
+		b.Run(spec, func(b *testing.B) {
+			store := openComplaintStoreBench(b, spec, ids)
+			assessor := complaints.Assessor{Store: store, Population: ids}
+			var ctr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(ctr.Add(1))
+					if _, err := assessor.Product(ids[i%len(ids)]); err != nil {
+						// b.Fatal must not run on RunParallel workers.
+						b.Error(err)
+						return
+					}
+				}
+			})
+			closeComplaintStoreBench(b, store)
 		})
 	}
 }

@@ -1,13 +1,14 @@
 // Command bench records the repository's performance trajectory: wall-clock
 // time of every experiment at worker-pool widths 1 and GOMAXPROCS (the
-// sharded-runner speedup), the market engine's session throughput, and the
-// allocation profile of the exchange scheduler's fast path. It writes a JSON
-// snapshot (BENCH_PR<n>.json by convention) so successive PRs can be
-// compared.
+// sharded-runner speedup), the market engine's session throughput, the
+// allocation profile of the exchange scheduler's fast path, and the
+// complaint-store contention benchmark (reputation data-plane backends under
+// concurrent File and mixed file+assess load). It writes a JSON snapshot
+// (BENCH_PR<n>.json by convention) so successive PRs can be compared.
 //
 // Usage:
 //
-//	bench [-o BENCH_PR1.json] [-seed 42] [-quick] [-reps 3]
+//	bench [-o BENCH_PR1.json] [-seed 42] [-quick] [-reps 3] [-repstore memory,sharded]
 package main
 
 import (
@@ -17,14 +18,20 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/metrics"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"trustcoop/internal/agent"
+	"trustcoop/internal/benchutil"
 	"trustcoop/internal/eval"
 	"trustcoop/internal/exchange"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
 )
 
 type experimentRun struct {
@@ -50,6 +57,28 @@ type engineReport struct {
 	Seconds     float64 `json:"seconds"`
 }
 
+type storeRun struct {
+	Goroutines       int     `json:"goroutines"`
+	Ops              int     `json:"ops"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	MutexWaitNsPerOp float64 `json:"mutex_wait_ns_per_op"`
+}
+
+type storeReport struct {
+	Backend    string     `json:"backend"`
+	Workload   string     `json:"workload"` // "file" or "file+assess"
+	Gomaxprocs int        `json:"gomaxprocs"`
+	Runs       []storeRun `json:"runs"`
+	// SpeedupNumCPUVs1 is ns/op at 1 goroutine over ns/op at the widest
+	// goroutine count — 1.0 by definition on single-CPU hosts, the
+	// contention-scaling trend line elsewhere.
+	SpeedupNumCPUVs1 float64 `json:"speedup_numcpu_vs_1"`
+	// SpeedupVsMemory compares this backend's widest-run ns/op against the
+	// memory baseline's on the same workload.
+	SpeedupVsMemory float64 `json:"speedup_vs_memory"`
+}
+
 type report struct {
 	Generated   string             `json:"generated"`
 	GoVersion   string             `json:"go_version"`
@@ -61,6 +90,7 @@ type report struct {
 	Experiments []experimentReport `json:"experiments"`
 	Schedule    []scheduleReport   `json:"schedule_fast_path"`
 	Engine      []engineReport     `json:"engine_sessions"`
+	Stores      []storeReport      `json:"store_contention"`
 	Notes       string             `json:"notes"`
 }
 
@@ -77,6 +107,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts")
 	reps := fs.Int("reps", 3, "timing repetitions per cell (best is kept)")
+	repstore := fs.String("repstore", "memory,sharded,async:sharded",
+		"comma-separated complaint-store specs for the contention benchmark (concurrency-safe backends only; pgrid is single-threaded by design)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +126,16 @@ func run(args []string) error {
 			"multi-worker runs only measure pool overhead; " +
 			"schedule_fast_path is testing.AllocsPerRun plus per-op timing of " +
 			"exchange.ScheduleSafe on an all-non-negative-surplus bundle " +
-			"(seed implementation: ~47 allocs/op)",
+			"(seed implementation: ~47 allocs/op); " +
+			"store_contention compares complaint-store backends per workload: " +
+			"'file+assess' is the marketplace's operation mix (1 File + a " +
+			"population-wide complaint-product scan per session), where the " +
+			"sharded store's single-lookup combined Counts read beats the " +
+			"memory baseline's two locked map reads even on one CPU; 'file' is " +
+			"the pure write path, where striping needs real CPU parallelism to " +
+			"pay off — on single-CPU hosts the extra shard hash and second " +
+			"lock make it slower than the uncontended single mutex, so watch " +
+			"speedup_vs_memory on multi-core CI artifacts for that row",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -171,6 +212,12 @@ func run(args []string) error {
 		rep.Engine = append(rep.Engine, engineReport{Concurrency: conc, Sessions: sessions, Seconds: time.Since(start).Seconds()})
 	}
 
+	stores, err := benchStores(strings.Split(*repstore, ","), *quick, *reps)
+	if err != nil {
+		return err
+	}
+	rep.Stores = stores
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -181,4 +228,173 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// storePeers is the contention-benchmark population size.
+const storePeers = 512
+
+func mutexWaitTotal() float64 {
+	s := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(s)
+	return s[0].Value.Float64()
+}
+
+// benchStores measures each backend under two workloads:
+//
+//   - "file": G goroutines filing complaints as fast as they can — the pure
+//     write path, where lock striping pays off with real CPU parallelism;
+//   - "file+assess": each session files one complaint and then assesses the
+//     whole population (one complaint-product read per peer), the operation
+//     mix of the trust-aware marketplace, where the sharded store's combined
+//     single-lookup Counts read wins even single-threaded.
+//
+// Reported per run: wall-clock ns per store operation, heap allocations per
+// operation (runtime.MemStats delta — approximate, includes scheduler
+// allocations), and sync.Mutex wait accumulated per operation.
+func benchStores(specs []string, quick bool, reps int) ([]storeReport, error) {
+	ids := benchutil.StorePeers(storePeers)
+	fileOps, assessSessions := 200_000, 400
+	if quick {
+		fileOps, assessSessions = 50_000, 100
+	}
+	widths := []int{1, 8}
+	if n := runtime.GOMAXPROCS(0); n*2 > 8 {
+		widths = append(widths, n*2)
+	}
+
+	// The memory baseline always runs first so every backend's
+	// speedup_vs_memory has a same-snapshot denominator.
+	ordered := []string{"memory"}
+	seen := map[string]bool{"memory": true}
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" || seen[spec] {
+			continue
+		}
+		if strings.Contains(spec, "pgrid") {
+			fmt.Fprintf(os.Stderr, "store %s: skipped (not safe for concurrent use)\n", spec)
+			continue
+		}
+		seen[spec] = true
+		ordered = append(ordered, spec)
+	}
+
+	// memBaseline[workload] is the memory backend's widest-run ns/op.
+	memBaseline := map[string]float64{}
+	var reports []storeReport
+	for _, spec := range ordered {
+		for _, workload := range []string{"file", "file+assess"} {
+			sr := storeReport{Backend: spec, Workload: workload, Gomaxprocs: runtime.GOMAXPROCS(0)}
+			for _, g := range widths {
+				var best storeRun
+				for r := 0; r < reps; r++ {
+					store, err := benchutil.OpenStore(spec, ids)
+					if err != nil {
+						return nil, err
+					}
+					run, err := benchStoreRun(store, workload, g, fileOps, assessSessions, ids)
+					// Stop any background flush workers before the next cell
+					// is timed.
+					if cerr := benchutil.CloseStore(store); err == nil {
+						err = cerr
+					}
+					if err != nil {
+						return nil, err
+					}
+					if best.Ops == 0 || run.NsPerOp < best.NsPerOp {
+						best = run
+					}
+				}
+				sr.Runs = append(sr.Runs, best)
+			}
+			sr.SpeedupNumCPUVs1 = 1
+			last := sr.Runs[len(sr.Runs)-1]
+			if runtime.GOMAXPROCS(0) > 1 && last.NsPerOp > 0 {
+				sr.SpeedupNumCPUVs1 = sr.Runs[0].NsPerOp / last.NsPerOp
+			}
+			if spec == "memory" {
+				memBaseline[workload] = last.NsPerOp
+			}
+			if base := memBaseline[workload]; base > 0 && last.NsPerOp > 0 {
+				sr.SpeedupVsMemory = base / last.NsPerOp
+			}
+			reports = append(reports, sr)
+			fmt.Fprintf(os.Stderr, "store %s %s: %.1f ns/op at %d goroutines (%.2fx vs memory)\n",
+				spec, workload, last.NsPerOp, last.Goroutines, sr.SpeedupVsMemory)
+		}
+	}
+	return reports, nil
+}
+
+// benchStoreRun drives one (store, workload, goroutines) cell. Ops counts
+// individual store operations: Files plus, for file+assess, one
+// complaint-product read per population member per session.
+func benchStoreRun(store complaints.Store, workload string, goroutines, fileOps, assessSessions int, ids []trust.PeerID) (storeRun, error) {
+	assessor := complaints.Assessor{Store: store, Population: ids}
+	perG := fileOps / goroutines
+	sessPerG := assessSessions
+	totalOps := goroutines * perG
+	if workload == "file+assess" {
+		totalOps = goroutines * sessPerG * (len(ids) + 1)
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	wait0 := mutexWaitTotal()
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch workload {
+			case "file":
+				for i := 0; i < perG; i++ {
+					c := complaints.Complaint{From: ids[(g*7+i)%len(ids)], About: ids[(g*13+3*i)%len(ids)]}
+					if err := store.File(c); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			default: // file+assess
+				for s := 0; s < sessPerG; s++ {
+					c := complaints.Complaint{From: ids[(g*7+s)%len(ids)], About: ids[(g*13+3*s)%len(ids)]}
+					if err := store.File(c); err != nil {
+						errs[g] = err
+						return
+					}
+					for _, p := range ids {
+						if _, err := assessor.Product(p); err != nil {
+							errs[g] = err
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// A write-behind store pays for its backlog inside the measurement.
+	if f, ok := store.(complaints.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return storeRun{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	wait1 := mutexWaitTotal()
+	runtime.ReadMemStats(&ms1)
+	for _, err := range errs {
+		if err != nil {
+			return storeRun{}, err
+		}
+	}
+	return storeRun{
+		Goroutines:       goroutines,
+		Ops:              totalOps,
+		NsPerOp:          float64(elapsed.Nanoseconds()) / float64(totalOps),
+		AllocsPerOp:      float64(ms1.Mallocs-ms0.Mallocs) / float64(totalOps),
+		MutexWaitNsPerOp: (wait1 - wait0) * 1e9 / float64(totalOps),
+	}, nil
 }

@@ -1,4 +1,4 @@
-// Command evalrun regenerates the experiment tables (E1–E9) that stand in
+// Command evalrun regenerates the experiment tables (E1–E10) that stand in
 // for the paper's evaluation. See EXPERIMENTS.md for the claim → experiment
 // mapping and the reference output.
 //
@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N]
+//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N] [-repstore sharded,async]
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced trial counts (for smoke runs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := fs.Int("workers", 0, "trial worker pool size; 0 means GOMAXPROCS")
+	repstore := fs.String("repstore", "", "restrict the reputation-backend experiments (E10) to these comma-separated complaint-store specs (e.g. sharded,async:sharded); empty runs the default portfolio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +50,7 @@ func run(args []string) error {
 		}
 	}
 	for _, id := range ids {
-		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers})
+		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, RepStore: *repstore})
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

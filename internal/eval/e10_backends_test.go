@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func e10Quick(backends ...string) E10Config {
+	return E10Config{Seed: 17, Sessions: 80, Population: 9, BatchSize: 8, GridPeers: 32, Backends: backends}
+}
+
+// TestE10DeterministicAcrossWorkersAndBackends is the PR's headline
+// determinism guarantee: for every backend — including the batched async
+// pipeline — the ablation table is byte-identical whether its cells run on
+// one worker or many, under a fixed seed.
+func TestE10DeterministicAcrossWorkersAndBackends(t *testing.T) {
+	for _, backend := range DefaultE10Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			cfg := e10Quick(backend)
+			cfg.Workers = 1
+			base, err := E10BackendAblation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 7} {
+				cfg.Workers = workers
+				got, err := E10BackendAblation(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.String() != base.String() {
+					t.Errorf("workers=%d table differs from workers=1:\n%s\nvs\n%s", workers, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestE10ExactBackendsAgree: memory and sharded hold identical counts, so
+// their rows must match cell for cell (backend label aside) — the sharded
+// refactor may change performance, never results.
+func TestE10ExactBackendsAgree(t *testing.T) {
+	tbl, err := E10BackendAblation(e10Quick("memory", "sharded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	mem, sharded := tbl.Rows[0], tbl.Rows[1]
+	if mem[0] != "memory" || sharded[0] != "sharded" {
+		t.Fatalf("row order: %v / %v", mem, sharded)
+	}
+	for i := 1; i < len(mem); i++ {
+		if mem[i] != sharded[i] {
+			t.Errorf("col %q: memory %q != sharded %q", tbl.Cols[i], mem[i], sharded[i])
+		}
+	}
+}
+
+// TestE10AsyncReportsStaleness: the write-behind rows must expose a non-zero
+// stale-read fraction (the tradeoff the ablation exists to measure), the
+// read-through rows must not.
+func TestE10AsyncReportsStaleness(t *testing.T) {
+	tbl, err := E10BackendAblation(e10Quick("memory", "async"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleIdx := -1
+	for i, c := range tbl.Cols {
+		if c == "stale reads" {
+			staleIdx = i
+		}
+	}
+	if staleIdx < 0 {
+		t.Fatalf("no stale-reads column in %v", tbl.Cols)
+	}
+	if got := tbl.Rows[0][staleIdx]; got != "-" {
+		t.Errorf("memory stale reads = %q, want '-'", got)
+	}
+	got := tbl.Rows[1][staleIdx]
+	if got == "-" || got == "0.0%" {
+		t.Errorf("async stale reads = %q, want a non-zero fraction", got)
+	}
+	if !strings.HasSuffix(got, "%") {
+		t.Errorf("async stale reads = %q, want a percentage", got)
+	}
+}
+
+// TestE10RepStoreRestriction: RunConfig.RepStore (the -repstore flag)
+// restricts the portfolio.
+func TestE10RepStoreRestriction(t *testing.T) {
+	tbl, err := Run("E10", RunConfig{Seed: 17, Quick: true, RepStore: "sharded, async:sharded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || tbl.Rows[0][0] != "sharded" || tbl.Rows[1][0] != "async:sharded" {
+		t.Errorf("restricted rows = %v", tbl.Rows)
+	}
+}

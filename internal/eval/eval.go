@@ -3,6 +3,8 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Runner regenerates one experiment.
@@ -93,17 +95,34 @@ func All() map[string]Runner {
 			}
 			return E9Ablation(cfg)
 		},
+		"E10": func(rc RunConfig) (*Table, error) {
+			cfg := E10Config{Seed: rc.Seed, Workers: rc.workers(), Backends: rc.repStores()}
+			if rc.Quick {
+				cfg.Sessions = 80
+				cfg.Population = 9
+				cfg.BatchSize = 8
+				cfg.GridPeers = 32
+			}
+			return E10BackendAblation(cfg)
+		},
 	}
 }
 
-// IDs lists the experiment ids in order.
+// IDs lists the experiment ids in numeric order (E1, E2, …, E10).
 func IDs() []string {
 	m := All()
 	ids := make([]string, 0, len(m))
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	sort.Slice(ids, func(i, j int) bool {
+		ni, _ := strconv.Atoi(strings.TrimPrefix(ids[i], "E"))
+		nj, _ := strconv.Atoi(strings.TrimPrefix(ids[j], "E"))
+		if ni != nj {
+			return ni < nj
+		}
+		return ids[i] < ids[j]
+	})
 	return ids
 }
 

@@ -46,13 +46,13 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 9 {
-		t.Fatalf("IDs = %v, want 9 experiments", ids)
+	if len(ids) != 10 {
+		t.Fatalf("IDs = %v, want 10 experiments", ids)
 	}
 	for i, id := range ids {
 		want := "E" + strconv.Itoa(i+1)
 		if id != want {
-			t.Errorf("IDs[%d] = %s, want %s", i, id, want)
+			t.Errorf("IDs[%d] = %s, want %s (numeric order)", i, id, want)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package eval
 import (
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -20,6 +21,24 @@ type RunConfig struct {
 	// trial draws from its own seed-derived random stream and results reduce
 	// in trial order.
 	Workers int
+	// RepStore restricts the reputation-backend experiments (E10) to a
+	// comma-separated list of complaint-store specs (e.g.
+	// "sharded,async:sharded"); empty runs the default portfolio.
+	RepStore string
+}
+
+// repStores splits the RepStore list; nil when unset.
+func (rc RunConfig) repStores() []string {
+	if rc.RepStore == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(rc.RepStore, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func (rc RunConfig) workers() int {

@@ -15,6 +15,7 @@ import (
 	"trustcoop/internal/reputation"
 	"trustcoop/internal/seedmix"
 	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
 )
 
 // Engine runs marketplace sessions over a simulated network. Create with
@@ -47,6 +48,7 @@ type Engine struct {
 	byID       map[trust.PeerID]*agent.Agent
 	nodeOf     map[trust.PeerID]netsim.NodeID
 	estimators map[trust.PeerID]trust.Estimator
+	repStore   complaints.Store // engine-owned store from Config.RepStore; nil otherwise
 
 	sessions map[int]*session // live sessions by ID
 	nextID   int              // next session to start
@@ -97,6 +99,30 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.net.SetDropRate(cfg.DropRate)
 	e.result.DefectionsBy = make(map[string]int)
 
+	estimatorOf := cfg.EstimatorOf
+	if cfg.RepStore != "" {
+		bc := cfg.RepStoreConfig
+		if bc.Seed == 0 {
+			bc.Seed = cfg.Seed
+		}
+		store, err := complaints.Open(cfg.RepStore, bc)
+		if err != nil {
+			return nil, fmt.Errorf("market: reputation store: %w", err)
+		}
+		e.repStore = store
+		population := make([]trust.PeerID, len(cfg.Agents))
+		for i, a := range cfg.Agents {
+			population[i] = a.ID
+		}
+		assessor := complaints.Assessor{Store: store, Population: population}
+		estimatorOf = func(id trust.PeerID) trust.Estimator {
+			return &complaints.Estimator{Assessor: assessor, Observer: id}
+		}
+	}
+	if estimatorOf == nil {
+		estimatorOf = func(trust.PeerID) trust.Estimator { return trust.NewBeta(trust.BetaConfig{}) }
+	}
+
 	for i, a := range cfg.Agents {
 		if _, dup := e.byID[a.ID]; dup {
 			return nil, fmt.Errorf("market: duplicate agent ID %q", a.ID)
@@ -104,11 +130,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.byID[a.ID] = a
 		node := netsim.NodeID(i)
 		e.nodeOf[a.ID] = node
-		if cfg.EstimatorOf != nil {
-			e.estimators[a.ID] = cfg.EstimatorOf(a.ID)
-		} else {
-			e.estimators[a.ID] = trust.NewBeta(trust.BetaConfig{})
-		}
+		e.estimators[a.ID] = estimatorOf(a.ID)
 		if err := e.net.Register(node, e.handle); err != nil {
 			return nil, err
 		}
@@ -124,23 +146,42 @@ func (e *Engine) Ledger() *reputation.Ledger { return e.ledger }
 // EstimatorOf exposes an agent's trust view (for accuracy metrics).
 func (e *Engine) EstimatorOf(id trust.PeerID) trust.Estimator { return e.estimators[id] }
 
+// RepStore exposes the engine-owned complaint store built from
+// Config.RepStore, for post-run assessment and pipeline statistics. It is
+// nil when the config wired estimators itself.
+func (e *Engine) RepStore() complaints.Store { return e.repStore }
+
 // Run executes the configured number of sessions and returns the aggregate
 // result. Up to Config.Concurrency sessions are in flight at any moment on
 // the virtual clock; each finishing session backfills the freed slot.
 func (e *Engine) Run() (Result, error) {
 	e.fill()
 	e.sim.Run(0)
-	if e.runErr != nil {
-		return Result{}, e.runErr
-	}
 	// Defensive: per-session timeouts guarantee the event queue drains with
-	// no session live; if one somehow survives, settle it deterministically.
-	// The simulator is drained here, so starting more sessions would schedule
-	// events that never run — mark the run exhausted before settling so the
-	// finish → fill backfill stays a no-op.
+	// no session live; if one somehow survives (or the run failed mid-way),
+	// settle it deterministically. The simulator is drained here, so starting
+	// more sessions would schedule events that never run — mark the run
+	// exhausted before settling so the finish → fill backfill stays a no-op.
 	e.nextID = e.cfg.Sessions
 	for _, id := range slices.Sorted(maps.Keys(e.sessions)) {
 		e.finish(e.sessions[id], reputation.Event{Aborted: true})
+	}
+	// Drain a write-behind reputation store so post-run assessments (and the
+	// final table rows) see every complaint the run filed. Engines run once,
+	// so a closable store is closed outright — that also stops any background
+	// flush workers instead of leaking them; reads stay valid after Close.
+	switch s := e.repStore.(type) {
+	case interface{ Close() error }:
+		if err := s.Close(); err != nil && e.runErr == nil {
+			e.runErr = fmt.Errorf("market: close reputation store: %w", err)
+		}
+	case complaints.Flusher:
+		if err := s.Flush(); err != nil && e.runErr == nil {
+			e.runErr = fmt.Errorf("market: flush reputation store: %w", err)
+		}
+	}
+	if e.runErr != nil {
+		return Result{}, e.runErr
 	}
 	e.result.Sessions = e.cfg.Sessions
 	e.result.NetStats = e.net.Stats()
@@ -358,11 +399,14 @@ func (e *Engine) finish(s *session, ev reputation.Event) {
 	}
 
 	e.ledger.Append(ev)
-	reputation.Feed(ev,
+	err := reputation.Feed(ev,
 		func(id trust.PeerID) trust.Estimator { return e.estimators[id] },
 		func(id trust.PeerID) bool {
 			a := e.byID[id]
 			return a != nil && a.LiesAsWitness
 		})
+	if err != nil && e.runErr == nil {
+		e.runErr = err
+	}
 	e.fill()
 }

@@ -17,6 +17,7 @@ import (
 	"trustcoop/internal/netsim"
 	"trustcoop/internal/stats"
 	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
 )
 
 // Strategy selects how sessions schedule their exchanges.
@@ -64,8 +65,20 @@ type Config struct {
 	// Agents is the population; at least two.
 	Agents []*agent.Agent
 	// EstimatorOf supplies each agent's trust view. nil gives every agent
-	// a private Beta estimator.
+	// a private Beta estimator (unless RepStore is set).
 	EstimatorOf func(id trust.PeerID) trust.Estimator
+	// RepStore selects a shared complaint-store backend for the agents'
+	// trust views by registry spec ("memory", "sharded", "async",
+	// "async:sharded", "pgrid", …): the engine builds one store, and every
+	// agent estimates through its own complaints.Estimator over it — the
+	// reference-[2] deployment with a pluggable data plane. Empty keeps the
+	// EstimatorOf / private-Beta behaviour. Mutually exclusive with
+	// EstimatorOf. Decentralised backends need their package linked in
+	// (internal/pgrid registers "pgrid").
+	RepStore string
+	// RepStoreConfig tunes the selected backend (shard count, batch size,
+	// grid size, …). A zero Seed is derived from Config.Seed.
+	RepStoreConfig complaints.BackendConfig
 	// Gen configures bundle generation; zero value means
 	// goods.DefaultGenConfig.
 	Gen goods.GenConfig
@@ -94,6 +107,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Concurrency == 0 {
 		c.Concurrency = 1
+	}
+	if c.RepStore != "" && c.EstimatorOf != nil {
+		return c, errors.New("market: RepStore and EstimatorOf are mutually exclusive")
 	}
 	if c.Gen.Items == 0 {
 		c.Gen = goods.DefaultGenConfig()

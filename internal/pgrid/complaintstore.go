@@ -2,11 +2,30 @@ package pgrid
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
 )
+
+// init makes the decentralised store available through the complaints
+// backend registry (spec "pgrid", stackable as "async:pgrid"): a balanced
+// grid of BackendConfig.GridPeers storage peers (default 64) built from
+// BackendConfig.Seed, read with BackendConfig.Replicas replica votes.
+func init() {
+	complaints.Register("pgrid", func(cfg complaints.BackendConfig) (complaints.Store, error) {
+		peers := cfg.GridPeers
+		if peers <= 0 {
+			peers = 64
+		}
+		g, err := New(Config{Peers: peers, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("pgrid backend: %w", err)
+		}
+		return &ComplaintStore{Grid: g, Replicas: cfg.Replicas}, nil
+	})
+}
 
 // ComplaintStore is the decentralised complaints.Store of the
 // Aberer–Despotovic model: complaints live on the grid under two keys (one
@@ -31,8 +50,30 @@ func (s *ComplaintStore) replicas() int {
 func (s *ComplaintStore) recvKey(p trust.PeerID) string  { return s.Grid.KeyFor("recv/" + string(p)) }
 func (s *ComplaintStore) filedKey(p trust.PeerID) string { return s.Grid.KeyFor("filed/" + string(p)) }
 
+// encodeComplaint serialises a complaint as "<len(From)>:<From>><About>".
+// The decimal length prefix makes the encoding unambiguous even when a
+// PeerID itself contains the '>' separator (or ':'), so a crafted ID cannot
+// impersonate another peer's complaint record.
 func encodeComplaint(c complaints.Complaint) string {
-	return string(c.From) + ">" + string(c.About)
+	return strconv.Itoa(len(c.From)) + ":" + string(c.From) + ">" + string(c.About)
+}
+
+// decodeComplaint parses encodeComplaint's format; ok is false for any
+// malformed value (fabricated garbage on malicious replicas).
+func decodeComplaint(v string) (from, about trust.PeerID, ok bool) {
+	i := strings.IndexByte(v, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	n, err := strconv.Atoi(v[:i])
+	if err != nil || n < 0 {
+		return "", "", false
+	}
+	rest := v[i+1:]
+	if len(rest) <= n || rest[n] != '>' {
+		return "", "", false
+	}
+	return trust.PeerID(rest[:n]), trust.PeerID(rest[n+1:]), true
 }
 
 // File implements complaints.Store: the complaint is inserted under both
@@ -77,17 +118,11 @@ func (s *ComplaintStore) Filed(p trust.PeerID) (int, error) {
 }
 
 func complaintAbout(v string) (trust.PeerID, bool) {
-	i := strings.IndexByte(v, '>')
-	if i < 0 {
-		return "", false
-	}
-	return trust.PeerID(v[i+1:]), true
+	_, about, ok := decodeComplaint(v)
+	return about, ok
 }
 
 func complaintFrom(v string) (trust.PeerID, bool) {
-	i := strings.IndexByte(v, '>')
-	if i < 0 {
-		return "", false
-	}
-	return trust.PeerID(v[:i]), true
+	from, _, ok := decodeComplaint(v)
+	return from, ok
 }

@@ -41,6 +41,68 @@ func TestComplaintStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEncodeComplaintRoundTrip pins the length-prefixed encoding: every
+// complaint — including PeerIDs containing the '>' separator, the ':'
+// length delimiter, or digits — must decode back to exactly itself, and
+// malformed values must be rejected rather than misattributed.
+func TestEncodeComplaintRoundTrip(t *testing.T) {
+	cases := []complaints.Complaint{
+		{From: "a", About: "b"},
+		{From: "", About: "b"},
+		{From: "a", About: ""},
+		{From: "ev>il", About: "victim"},
+		{From: "a>b>c", About: ">x"},
+		{From: "3:a", About: "1:b"},
+		{From: "12>34", About: "56:78"},
+	}
+	for _, c := range cases {
+		v := encodeComplaint(c)
+		from, about, ok := decodeComplaint(v)
+		if !ok || from != c.From || about != c.About {
+			t.Errorf("round trip %+v → %q → (%q, %q, %v)", c, v, from, about, ok)
+		}
+	}
+	// The old ambiguity: From "a>b" About "c" and From "a" About "b>c" used
+	// to encode identically; now they must not.
+	v1 := encodeComplaint(complaints.Complaint{From: "a>b", About: "c"})
+	v2 := encodeComplaint(complaints.Complaint{From: "a", About: "b>c"})
+	if v1 == v2 {
+		t.Errorf("ambiguous encodings survive: %q == %q", v1, v2)
+	}
+	for _, bad := range []string{"", "a>b", ":a>b", "-1:>x", "5:ab>c", "2ab>c", "2:ab"} {
+		if from, about, ok := decodeComplaint(bad); ok {
+			t.Errorf("decodeComplaint(%q) = (%q, %q), want rejection", bad, from, about)
+		}
+	}
+}
+
+// TestComplaintStoreSeparatorPeerIDs runs the store end to end with hostile
+// IDs: a peer whose ID embeds ">victim" must not be able to inflate the
+// victim's received count.
+func TestComplaintStoreSeparatorPeerIDs(t *testing.T) {
+	g, err := New(Config{Peers: 32, Depth: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &ComplaintStore{Grid: g}
+	evil := trust.PeerID("mallory>victim")
+	if err := store.File(complaints.Complaint{From: evil, About: "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.File(complaints.Complaint{From: "witness", About: evil}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.Received("victim"); n != 0 {
+		t.Errorf("Received(victim) = %d, want 0 — separator injection leaked", n)
+	}
+	if n, _ := store.Received(evil); n != 1 {
+		t.Errorf("Received(%q) = %d, want 1", evil, n)
+	}
+	if n, _ := store.Filed(evil); n != 1 {
+		t.Errorf("Filed(%q) = %d, want 1", evil, n)
+	}
+}
+
 func TestComplaintStoreSurvivesMinorityHiding(t *testing.T) {
 	g, err := New(Config{Peers: 60, Depth: 2, Seed: 10}) // 15 replicas/leaf
 	if err != nil {

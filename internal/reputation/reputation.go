@@ -6,6 +6,7 @@
 package reputation
 
 import (
+	"fmt"
 	"sync"
 
 	"trustcoop/internal/goods"
@@ -111,20 +112,37 @@ func (l *Ledger) CompletionRate() float64 {
 // network, not the partner, failed). Liars invert what they record — with a
 // shared witness structure (the Mui network or the complaint store behind
 // the estimators) this poisons what other peers later learn from them.
-func Feed(e Event, estimatorOf func(trust.PeerID) trust.Estimator, isLiar func(trust.PeerID) bool) {
+//
+// Estimators whose evidence writes can fail (trust.FallibleRecorder — the
+// complaint estimator over a decentralised or write-behind store) are
+// recorded through TryRecord, and the first failure is returned so dropped
+// complaints surface in experiment results instead of silently skewing them.
+// Both parties' records are attempted even when the first fails.
+func Feed(e Event, estimatorOf func(trust.PeerID) trust.Estimator, isLiar func(trust.PeerID) bool) error {
 	if e.Aborted {
-		return
+		return nil
 	}
-	record := func(observer, subject trust.PeerID, cooperated bool) {
+	record := func(observer, subject trust.PeerID, cooperated bool) error {
 		est := estimatorOf(observer)
 		if est == nil {
-			return
+			return nil
 		}
 		if isLiar != nil && isLiar(observer) {
 			cooperated = !cooperated
 		}
-		est.Record(subject, trust.Outcome{Cooperated: cooperated})
+		o := trust.Outcome{Cooperated: cooperated}
+		if fr, ok := est.(trust.FallibleRecorder); ok {
+			if err := fr.TryRecord(subject, o); err != nil {
+				return fmt.Errorf("reputation: record %s about %s: %w", observer, subject, err)
+			}
+			return nil
+		}
+		est.Record(subject, o)
+		return nil
 	}
-	record(e.Supplier, e.Consumer, e.DefectedBy != e.Consumer)
-	record(e.Consumer, e.Supplier, e.DefectedBy != e.Supplier)
+	err := record(e.Supplier, e.Consumer, e.DefectedBy != e.Consumer)
+	if err2 := record(e.Consumer, e.Supplier, e.DefectedBy != e.Supplier); err == nil {
+		err = err2
+	}
+	return err
 }

@@ -1,6 +1,7 @@
 package reputation
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -74,7 +75,9 @@ func TestFeedRecordsBothViews(t *testing.T) {
 	ests := map[trust.PeerID]trust.Estimator{"s": sup, "c": con}
 	lookup := func(id trust.PeerID) trust.Estimator { return ests[id] }
 
-	Feed(Event{Supplier: "s", Consumer: "c", Completed: true}, lookup, nil)
+	if err := Feed(Event{Supplier: "s", Consumer: "c", Completed: true}, lookup, nil); err != nil {
+		t.Fatal(err)
+	}
 	if est := sup.Estimate("c"); est.Samples != 1 || est.P <= 0.5 {
 		t.Errorf("supplier's view of consumer after completion: %+v", est)
 	}
@@ -84,7 +87,9 @@ func TestFeedRecordsBothViews(t *testing.T) {
 
 	// Supplier defects: consumer records a defection; supplier still
 	// records the consumer as cooperative (the consumer did nothing wrong).
-	Feed(Event{Supplier: "s", Consumer: "c", DefectedBy: "s"}, lookup, nil)
+	if err := Feed(Event{Supplier: "s", Consumer: "c", DefectedBy: "s"}, lookup, nil); err != nil {
+		t.Fatal(err)
+	}
 	if coop, defect := con.Counts("s"); coop != 1 || defect != 1 {
 		t.Errorf("consumer's counts of supplier = %g/%g, want 1/1", coop, defect)
 	}
@@ -96,7 +101,9 @@ func TestFeedRecordsBothViews(t *testing.T) {
 func TestFeedAbortedRecordsNothing(t *testing.T) {
 	b := trust.NewBeta(trust.BetaConfig{})
 	lookup := func(trust.PeerID) trust.Estimator { return b }
-	Feed(Event{Supplier: "s", Consumer: "c", Aborted: true}, lookup, nil)
+	if err := Feed(Event{Supplier: "s", Consumer: "c", Aborted: true}, lookup, nil); err != nil {
+		t.Fatal(err)
+	}
 	if est := b.Estimate("s"); est.Samples != 0 {
 		t.Error("aborted session fed the estimators")
 	}
@@ -109,7 +116,9 @@ func TestFeedLiarInverts(t *testing.T) {
 	lookup := func(id trust.PeerID) trust.Estimator { return ests[id] }
 	isLiar := func(id trust.PeerID) bool { return id == "liar" }
 
-	Feed(Event{Supplier: "liar", Consumer: "h", Completed: true}, lookup, isLiar)
+	if err := Feed(Event{Supplier: "liar", Consumer: "h", Completed: true}, lookup, isLiar); err != nil {
+		t.Fatal(err)
+	}
 	// The liar records the honest completion as a defection.
 	if coop, defect := liar.Counts("h"); coop != 0 || defect != 1 {
 		t.Errorf("liar counts = %g/%g, want inverted 0/1", coop, defect)
@@ -130,8 +139,48 @@ func TestFeedNilEstimatorIsSkipped(t *testing.T) {
 		}
 		return nil
 	}
-	Feed(Event{Supplier: "s", Consumer: "c", Completed: true}, lookup, nil)
+	if err := Feed(Event{Supplier: "s", Consumer: "c", Completed: true}, lookup, nil); err != nil {
+		t.Fatal(err)
+	}
 	if est := b.Estimate("c"); est.Samples != 1 {
 		t.Error("existing estimator skipped")
+	}
+}
+
+// failingRecorder is a trust.FallibleRecorder whose store always fails; its
+// plain Record path counts silent drops so the test can prove Feed prefers
+// the fallible path.
+type failingRecorder struct {
+	err         error
+	silentDrops int
+	tried       int
+}
+
+func (f *failingRecorder) Record(trust.PeerID, trust.Outcome) { f.silentDrops++ }
+func (f *failingRecorder) TryRecord(trust.PeerID, trust.Outcome) error {
+	f.tried++
+	return f.err
+}
+func (f *failingRecorder) Estimate(trust.PeerID) trust.Estimate { return trust.Estimate{P: 0.5} }
+func (f *failingRecorder) Name() string                         { return "failing" }
+
+func TestFeedSurfacesRecordErrors(t *testing.T) {
+	boom := errors.New("complaint store unreachable")
+	supplier := &failingRecorder{err: boom}
+	consumer := &failingRecorder{err: nil}
+	ests := map[trust.PeerID]trust.Estimator{"s": supplier, "c": consumer}
+	lookup := func(id trust.PeerID) trust.Estimator { return ests[id] }
+
+	err := Feed(Event{Supplier: "s", Consumer: "c", DefectedBy: "c"}, lookup, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Feed = %v, want the store error", err)
+	}
+	if supplier.silentDrops != 0 || consumer.silentDrops != 0 {
+		t.Error("Feed used the silent Record path on a FallibleRecorder")
+	}
+	// The consumer's (healthy) record must still have been attempted after
+	// the supplier's failure.
+	if consumer.tried != 1 {
+		t.Errorf("consumer records attempted = %d, want 1", consumer.tried)
 	}
 }

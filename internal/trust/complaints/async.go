@@ -1,0 +1,281 @@
+package complaints
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"trustcoop/internal/trust"
+)
+
+// DefaultBatchSize is the complaint batch that triggers a flush to the inner
+// store when AsyncConfig leaves BatchSize at zero.
+const DefaultBatchSize = 16
+
+// ErrClosed is returned by File on a closed AsyncStore.
+var ErrClosed = errors.New("complaints: async store closed")
+
+// AsyncConfig parameterises the write-behind decorator.
+type AsyncConfig struct {
+	// BatchSize is the number of queued complaints that triggers a flush to
+	// the inner store; 0 means DefaultBatchSize.
+	BatchSize int
+	// Workers is the number of background flush goroutines. 0 (the default)
+	// runs the pipeline in deterministic drain mode: complaints buffer on
+	// the filing goroutine and are applied synchronously whenever a full
+	// batch has accumulated (or on Flush) — fully reproducible, yet reads
+	// between batch boundaries still see stale counts, which is the
+	// staleness-vs-throughput tradeoff experiments measure. Workers > 0
+	// moves application to background goroutines for wall-clock throughput;
+	// the inner store must then be safe for concurrent use, and the order in
+	// which batches land is scheduling-dependent (harmless for the
+	// commutative counter stores, unsuitable for single-threaded ones like
+	// pgrid).
+	Workers int
+}
+
+// AsyncStats is a snapshot of the pipeline's accounting.
+type AsyncStats struct {
+	// Enqueued and Applied count complaints accepted by File and complaints
+	// already applied to the inner store; their difference is the current
+	// staleness backlog.
+	Enqueued, Applied int64
+	// Batches counts flushes to the inner store.
+	Batches int64
+	// Reads counts Received/Filed/Counts calls; StaleReads is the subset
+	// served while at least one complaint was still pending.
+	Reads, StaleReads int64
+}
+
+// AsyncStore is a write-behind decorator over any inner Store: File
+// enqueues, and complaints are applied to the inner store in batches —
+// synchronously at batch boundaries in deterministic mode, or by background
+// workers. Reads pass straight through to the inner store, so they see
+// counts that lag filing by up to a batch (plus whatever the workers have
+// not drained): exactly the staler-evidence information structure a real
+// deployment with an asynchronous reputation pipeline has. Flush drains the
+// backlog deterministically; Close flushes and stops the workers.
+type AsyncStore struct {
+	inner   Store
+	batch   int
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Complaint // deterministic-mode buffer
+	err     error       // first inner-store failure, sticky
+	closed  bool
+
+	// Accounting is atomic so the read path (noteRead) never touches mu —
+	// otherwise every Received/Filed/Counts would serialise on this one
+	// store-wide mutex and defeat a lock-striped inner store. enqueued and
+	// applied are additionally only *advanced* under mu where Flush's
+	// condition-wait depends on them (applied in apply/applyPendingLocked).
+	enqueued, applied atomic.Int64
+	batches           atomic.Int64
+	reads, staleReads atomic.Int64
+
+	// background mode: sendMu serialises sends against Close's channel
+	// close; workers drain ch in batches.
+	sendMu sync.RWMutex
+	ch     chan Complaint
+	wg     sync.WaitGroup
+}
+
+var (
+	_ Store   = (*AsyncStore)(nil)
+	_ Counter = (*AsyncStore)(nil)
+	_ Flusher = (*AsyncStore)(nil)
+)
+
+// NewAsyncStore wraps inner per cfg.
+func NewAsyncStore(inner Store, cfg AsyncConfig) *AsyncStore {
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	s := &AsyncStore{inner: inner, batch: batch, workers: cfg.Workers}
+	s.cond = sync.NewCond(&s.mu)
+	if s.workers > 0 {
+		s.ch = make(chan Complaint, 4*batch*s.workers)
+		for i := 0; i < s.workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	return s
+}
+
+// File implements Store: the complaint is enqueued, not yet visible to
+// reads. The returned error is a sticky earlier failure of the inner store
+// (or the synchronous batch application this File triggered in
+// deterministic mode) — complaints are never silently dropped.
+func (s *AsyncStore) File(c Complaint) error {
+	if s.workers == 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		s.pending = append(s.pending, c)
+		s.enqueued.Add(1)
+		if len(s.pending) >= s.batch {
+			return s.applyPendingLocked()
+		}
+		return s.err
+	}
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	s.enqueued.Add(1)
+	err := s.err
+	s.mu.Unlock()
+	s.ch <- c
+	return err
+}
+
+// applyPendingLocked applies the deterministic-mode buffer to the inner
+// store in filing order. Every buffered complaint is attempted even after a
+// failure; the first error is kept sticky.
+func (s *AsyncStore) applyPendingLocked() error {
+	if len(s.pending) == 0 {
+		return s.err
+	}
+	for _, c := range s.pending {
+		if err := s.inner.File(c); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	s.applied.Add(int64(len(s.pending)))
+	s.batches.Add(1)
+	s.pending = s.pending[:0]
+	return s.err
+}
+
+// worker drains the channel: it blocks for the first complaint of a batch,
+// then greedily collects whatever else is immediately available (up to the
+// batch size) before applying, so it never sits on a partial batch while
+// more work is queued.
+func (s *AsyncStore) worker() {
+	defer s.wg.Done()
+	buf := make([]Complaint, 0, s.batch)
+	for c := range s.ch {
+		buf = append(buf[:0], c)
+	refill:
+		for len(buf) < s.batch {
+			select {
+			case c2, ok := <-s.ch:
+				if !ok {
+					break refill
+				}
+				buf = append(buf, c2)
+			default:
+				break refill
+			}
+		}
+		s.apply(buf)
+	}
+}
+
+func (s *AsyncStore) apply(buf []Complaint) {
+	var firstErr error
+	for _, c := range buf {
+		if err := s.inner.File(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = firstErr
+	}
+	s.applied.Add(int64(len(buf)))
+	s.batches.Add(1)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// noteRead updates the staleness accounting for one read, without touching
+// the store mutex (see the field comment).
+func (s *AsyncStore) noteRead() {
+	s.reads.Add(1)
+	if s.applied.Load() != s.enqueued.Load() {
+		s.staleReads.Add(1)
+	}
+}
+
+// Received implements Store, reading through to the inner store (stale by
+// up to the current backlog).
+func (s *AsyncStore) Received(p trust.PeerID) (int, error) {
+	s.noteRead()
+	return s.inner.Received(p)
+}
+
+// Filed implements Store, reading through to the inner store.
+func (s *AsyncStore) Filed(p trust.PeerID) (int, error) {
+	s.noteRead()
+	return s.inner.Filed(p)
+}
+
+// Counts implements Counter, delegating to the inner store's combined read
+// when it has one.
+func (s *AsyncStore) Counts(p trust.PeerID) (received, filed int, err error) {
+	s.noteRead()
+	return counts(s.inner, p)
+}
+
+// Flush implements Flusher: it blocks until every complaint filed so far is
+// applied to the inner store and returns the first sticky storage error. In
+// deterministic mode the remaining partial batch is applied on the calling
+// goroutine, so a File-sequence followed by Flush is exactly reproducible.
+func (s *AsyncStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workers == 0 {
+		return s.applyPendingLocked()
+	}
+	for s.applied.Load() != s.enqueued.Load() {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// Close flushes the backlog and stops the background workers. Filing after
+// Close returns ErrClosed; reads stay valid.
+func (s *AsyncStore) Close() error {
+	if s.workers == 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		err := s.applyPendingLocked()
+		s.closed = true
+		return err
+	}
+	// Drain before closing so no File blocked on a full channel is cut off.
+	_ = s.Flush()
+	s.sendMu.Lock()
+	alreadyClosed := s.closed
+	if !alreadyClosed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.sendMu.Unlock()
+	if !alreadyClosed {
+		s.wg.Wait()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats snapshots the pipeline accounting.
+func (s *AsyncStore) Stats() AsyncStats {
+	return AsyncStats{
+		Enqueued:   s.enqueued.Load(),
+		Applied:    s.applied.Load(),
+		Batches:    s.batches.Load(),
+		Reads:      s.reads.Load(),
+		StaleReads: s.staleReads.Load(),
+	}
+}

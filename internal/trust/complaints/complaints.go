@@ -26,8 +26,9 @@ type Complaint struct {
 }
 
 // Store is where complaints are filed and counted. Implementations may be
-// centralised (MemoryStore) or decentralised (pgrid.ComplaintStore), in
-// which case counts can be distorted by malicious storage peers.
+// centralised (MemoryStore, ShardedStore), decentralised
+// (pgrid.ComplaintStore — counts can then be distorted by malicious storage
+// peers), or decorators over another Store (AsyncStore).
 type Store interface {
 	// File records a complaint.
 	File(c Complaint) error
@@ -35,6 +36,41 @@ type Store interface {
 	Received(p trust.PeerID) (int, error)
 	// Filed returns how many complaints the peer has filed.
 	Filed(p trust.PeerID) (int, error)
+}
+
+// Counter is an optional Store extension that returns both complaint counts
+// of a peer in one call. The assessor always needs the pair (its product
+// cr·cf drives every decision), so stores that can serve it with a single
+// lookup halve the cost of the read-dominated assessment path.
+type Counter interface {
+	// Counts returns how many complaints exist about the peer and how many
+	// the peer has filed.
+	Counts(p trust.PeerID) (received, filed int, err error)
+}
+
+// Flusher is an optional Store extension for write-behind stores: Flush
+// blocks until every complaint filed so far has been applied to the
+// underlying storage and reports the first storage error. Read-through
+// stores do not implement it; callers should type-assert.
+type Flusher interface {
+	Flush() error
+}
+
+// counts reads both complaint counts, through Counter when the store
+// provides the combined lookup.
+func counts(s Store, p trust.PeerID) (received, filed int, err error) {
+	if c, ok := s.(Counter); ok {
+		return c.Counts(p)
+	}
+	received, err = s.Received(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	filed, err = s.Filed(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return received, filed, nil
 }
 
 // MemoryStore is the centralised in-memory Store. It is safe for concurrent
@@ -100,11 +136,7 @@ func (a Assessor) factor() float64 {
 // Product returns cr(q)·cf(q) with add-one smoothing, so that a peer with
 // complaints received but none filed still scores.
 func (a Assessor) Product(q trust.PeerID) (float64, error) {
-	cr, err := a.Store.Received(q)
-	if err != nil {
-		return 0, err
-	}
-	cf, err := a.Store.Filed(q)
+	cr, cf, err := counts(a.Store, q)
 	if err != nil {
 		return 0, err
 	}
@@ -175,19 +207,29 @@ type Estimator struct {
 	Observer trust.PeerID
 }
 
-var _ trust.Estimator = (*Estimator)(nil)
+var (
+	_ trust.Estimator        = (*Estimator)(nil)
+	_ trust.FallibleRecorder = (*Estimator)(nil)
+)
 
 // Name implements trust.Estimator.
 func (e *Estimator) Name() string { return "complaints" }
 
-// Record implements trust.Estimator: defections become complaints.
-func (e *Estimator) Record(peer trust.PeerID, o trust.Outcome) {
-	if !o.Cooperated {
-		// Filing can only fail with a decentralised store whose routing
-		// broke; the assessment degrades gracefully, so the error is
-		// intentionally dropped here.
-		_ = e.Assessor.Store.File(Complaint{From: e.Observer, About: peer})
+// TryRecord implements trust.FallibleRecorder: defections become complaints,
+// and a failing store (decentralised routing breakage, a write-behind
+// pipeline error) is reported to the caller instead of dropped.
+func (e *Estimator) TryRecord(peer trust.PeerID, o trust.Outcome) error {
+	if o.Cooperated {
+		return nil
 	}
+	return e.Assessor.Store.File(Complaint{From: e.Observer, About: peer})
+}
+
+// Record implements trust.Estimator: defections become complaints. Callers
+// that must not lose complaints use TryRecord; here the assessment degrades
+// gracefully, so the error is intentionally dropped.
+func (e *Estimator) Record(peer trust.PeerID, o trust.Outcome) {
+	_ = e.TryRecord(peer, o)
 }
 
 // Estimate implements trust.Estimator.
@@ -196,8 +238,7 @@ func (e *Estimator) Estimate(peer trust.PeerID) trust.Estimate {
 	if err != nil {
 		return trust.Estimate{P: 0.5}
 	}
-	cr, _ := e.Assessor.Store.Received(peer)
-	cf, _ := e.Assessor.Store.Filed(peer)
+	cr, cf, _ := counts(e.Assessor.Store, peer)
 	n := float64(cr + cf)
 	return trust.Estimate{P: p, Confidence: trust.Reliability(n, trust.DefaultEpsilon), Samples: n}
 }

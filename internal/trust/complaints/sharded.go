@@ -1,0 +1,117 @@
+package complaints
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"trustcoop/internal/trust"
+)
+
+// DefaultShards is the shard count used when NewShardedStore is asked for
+// zero shards — enough stripes that 8–16 concurrent filers rarely collide.
+const DefaultShards = 16
+
+// shardedEntry holds both complaint counters of one peer, so a single locked
+// lookup serves the assessor's combined read (see Counter).
+type shardedEntry struct {
+	received, filed int
+}
+
+// shardedShard is one lock stripe, padded to a full 64-byte cache line
+// (mutex 8 + map header 8 + 48) so neighbouring shard locks never
+// false-share: contention on one stripe stays on its own line.
+type shardedShard struct {
+	mu sync.Mutex
+	m  map[trust.PeerID]*shardedEntry
+	_  [48]byte
+}
+
+// ShardedStore is the contention-resistant centralised Store: peers are
+// hashed onto N lock-striped shards, so concurrent File/Received/Filed calls
+// about different peers proceed in parallel instead of serialising on one
+// mutex (MemoryStore's design). Each peer's two counters live in a single
+// map entry, which also makes the assessor's combined Counts read one lookup
+// instead of MemoryStore's two. It is safe for concurrent use.
+type ShardedStore struct {
+	seed   maphash.Seed
+	shards []shardedShard
+	mask   uint64
+}
+
+var (
+	_ Store   = (*ShardedStore)(nil)
+	_ Counter = (*ShardedStore)(nil)
+)
+
+// NewShardedStore returns an empty store with the given shard count rounded
+// up to a power of two; shards <= 0 means DefaultShards.
+func NewShardedStore(shards int) *ShardedStore {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &ShardedStore{seed: maphash.MakeSeed(), shards: make([]shardedShard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[trust.PeerID]*shardedEntry)
+	}
+	return s
+}
+
+// Shards reports the shard count (for tests and benchmarks).
+func (s *ShardedStore) Shards() int { return len(s.shards) }
+
+func (s *ShardedStore) shard(p trust.PeerID) *shardedShard {
+	return &s.shards[maphash.String(s.seed, string(p))&s.mask]
+}
+
+func (s *ShardedStore) bump(p trust.PeerID, filed bool) {
+	sh := s.shard(p)
+	sh.mu.Lock()
+	e := sh.m[p]
+	if e == nil {
+		e = &shardedEntry{}
+		sh.m[p] = e
+	}
+	if filed {
+		e.filed++
+	} else {
+		e.received++
+	}
+	sh.mu.Unlock()
+}
+
+// File implements Store. The two counter bumps touch (usually) two different
+// shards; each shard lock is taken and released independently, so File never
+// holds two locks at once.
+func (s *ShardedStore) File(c Complaint) error {
+	s.bump(c.About, false)
+	s.bump(c.From, true)
+	return nil
+}
+
+// Received implements Store.
+func (s *ShardedStore) Received(p trust.PeerID) (int, error) {
+	r, _, err := s.Counts(p)
+	return r, err
+}
+
+// Filed implements Store.
+func (s *ShardedStore) Filed(p trust.PeerID) (int, error) {
+	_, f, err := s.Counts(p)
+	return f, err
+}
+
+// Counts implements Counter: both counters of the peer with one shard lock
+// and one map lookup.
+func (s *ShardedStore) Counts(p trust.PeerID) (received, filed int, err error) {
+	sh := s.shard(p)
+	sh.mu.Lock()
+	if e := sh.m[p]; e != nil {
+		received, filed = e.received, e.filed
+	}
+	sh.mu.Unlock()
+	return received, filed, nil
+}

@@ -56,6 +56,17 @@ type Estimator interface {
 	Name() string
 }
 
+// FallibleRecorder is an optional Estimator extension for estimators whose
+// evidence writes can fail — e.g. ones backed by a decentralised or
+// write-behind complaint store. Feedback paths (reputation.Feed) prefer
+// TryRecord over Record so storage failures surface to the caller instead of
+// silently dropping evidence.
+type FallibleRecorder interface {
+	// TryRecord feeds one interaction outcome with the peer and reports a
+	// failure of the backing store.
+	TryRecord(peer PeerID, o Outcome) error
+}
+
 // Reliability is the Chernoff-bound sample reliability used by Mui et al.:
 // the probability that an empirical frequency over n observations lies
 // within eps of the true rate, 1 − 2e^{−2·eps²·n}, clamped to [0, 1].
