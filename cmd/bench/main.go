@@ -1,10 +1,13 @@
 // Command bench records the repository's performance trajectory: wall-clock
 // time of every experiment at worker-pool widths 1 and GOMAXPROCS (the
 // sharded-runner speedup), the market engine's session throughput, the
-// allocation profile of the exchange scheduler's fast path, and the
+// allocation profile of the exchange scheduler's fast path, the
 // complaint-store contention benchmark (reputation data-plane backends under
-// concurrent File and mixed file+assess load). It writes a JSON snapshot
-// (BENCH_PR<n>.json by convention) so successive PRs can be compared.
+// concurrent File and mixed file+assess load), and the cell-sharding section
+// (one experiment cell split across sub-engines at growing engine-pool
+// widths, plus the FileBatch-vs-File write-path comparison). It writes a
+// JSON snapshot (BENCH_PR<n>.json by convention) so successive PRs can be
+// compared.
 //
 // Usage:
 //
@@ -79,19 +82,51 @@ type storeReport struct {
 	SpeedupVsMemory float64 `json:"speedup_vs_memory"`
 }
 
+type cellEngineRun struct {
+	Engines int     `json:"engines"`
+	Seconds float64 `json:"seconds"`
+}
+
+type cellReport struct {
+	Shards   int             `json:"shards"`
+	Sessions int             `json:"sessions"`
+	Runs     []cellEngineRun `json:"runs"`
+	// SpeedupVs1Engine is 1-engine wall clock over the widest engine pool's —
+	// 1.0 by definition on single-CPU hosts, the per-cell multi-core scaling
+	// trend line elsewhere.
+	SpeedupVs1Engine float64 `json:"speedup_vs_1_engine"`
+}
+
+type batchFileRun struct {
+	Backend       string  `json:"backend"`
+	BatchSize     int     `json:"batch_size"`
+	SingleNsPerOp float64 `json:"single_file_ns_per_op"`
+	BatchNsPerOp  float64 `json:"filebatch_ns_per_op"`
+	// SpeedupBatchVsSingle is single-File ns/op over FileBatch ns/op on the
+	// same workload: the lock-amortisation win of one lock pass per shard
+	// per batch.
+	SpeedupBatchVsSingle float64 `json:"speedup_batch_vs_single"`
+}
+
+type cellShardingReport struct {
+	Cells     []cellReport   `json:"cells"`
+	FileBatch []batchFileRun `json:"filebatch"`
+}
+
 type report struct {
-	Generated   string             `json:"generated"`
-	GoVersion   string             `json:"go_version"`
-	NumCPU      int                `json:"num_cpu"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Seed        int64              `json:"seed"`
-	Quick       bool               `json:"quick"`
-	Reps        int                `json:"reps"`
-	Experiments []experimentReport `json:"experiments"`
-	Schedule    []scheduleReport   `json:"schedule_fast_path"`
-	Engine      []engineReport     `json:"engine_sessions"`
-	Stores      []storeReport      `json:"store_contention"`
-	Notes       string             `json:"notes"`
+	Generated    string             `json:"generated"`
+	GoVersion    string             `json:"go_version"`
+	NumCPU       int                `json:"num_cpu"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Seed         int64              `json:"seed"`
+	Quick        bool               `json:"quick"`
+	Reps         int                `json:"reps"`
+	Experiments  []experimentReport `json:"experiments"`
+	Schedule     []scheduleReport   `json:"schedule_fast_path"`
+	Engine       []engineReport     `json:"engine_sessions"`
+	Stores       []storeReport      `json:"store_contention"`
+	CellSharding cellShardingReport `json:"cell_sharding"`
+	Notes        string             `json:"notes"`
 }
 
 func main() {
@@ -135,7 +170,14 @@ func run(args []string) error {
 			"the pure write path, where striping needs real CPU parallelism to " +
 			"pay off — on single-CPU hosts the extra shard hash and second " +
 			"lock make it slower than the uncontended single mutex, so watch " +
-			"speedup_vs_memory on multi-core CI artifacts for that row",
+			"speedup_vs_memory on multi-core CI artifacts for that row; " +
+			"cell_sharding times one trust-aware experiment cell decomposed into " +
+			"a fixed number of sub-engines (eval.RunCell) at engine-pool widths " +
+			"1/2/4/GOMAXPROCS — the decomposition never changes with the width, " +
+			"so speedup_vs_1_engine is pure parallelism (1.0 by definition on " +
+			"single-CPU hosts); its filebatch rows compare per-complaint File " +
+			"against FileBatch chunks of batch_size on the same stream, the " +
+			"locking the batch API amortises (one lock pass per shard per batch)",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -218,6 +260,16 @@ func run(args []string) error {
 	}
 	rep.Stores = stores
 
+	cells, err := benchCellSharding(*seed, *quick, *reps)
+	if err != nil {
+		return err
+	}
+	batches, err := benchFileBatch(*quick, *reps)
+	if err != nil {
+		return err
+	}
+	rep.CellSharding = cellShardingReport{Cells: cells, FileBatch: batches}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -228,6 +280,144 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// benchCellSharding measures the tentpole of PR 3: one experiment cell —
+// a trust-aware marketplace that previously serialised on a single engine —
+// sharded across sub-engines (eval.RunCell) at growing engine-pool widths.
+// The decomposition is fixed per cell (that is what keeps tables
+// byte-identical across widths); only the concurrency varies, so the
+// speedup-vs-1-engine column is a pure multi-core scaling number.
+func benchCellSharding(seed int64, quick bool, reps int) ([]cellReport, error) {
+	sessions := 1600
+	if quick {
+		sessions = 240
+	}
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	var out []cellReport
+	for _, shards := range []int{4, 8} {
+		agents, err := agent.NewPopulation(agent.PopConfig{Honest: 12, Opportunist: 6},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		cr := cellReport{Shards: shards, Sessions: sessions}
+		prev := 0
+		for _, engines := range widths {
+			// A width beyond the decomposition clamps to it (RunCell would
+			// anyway), so the widest supported pool is always measured;
+			// widths ascend, so equal clamped values dedupe via prev.
+			if engines > shards {
+				engines = shards
+			}
+			if engines == prev {
+				continue
+			}
+			prev = engines
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := eval.RunCell(market.Config{
+					Seed:     seed,
+					Sessions: sessions,
+					Agents:   agents,
+					Strategy: market.StrategyTrustAware,
+				}, shards, engines); err != nil {
+					return nil, err
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			cr.Runs = append(cr.Runs, cellEngineRun{Engines: engines, Seconds: best.Seconds()})
+		}
+		cr.SpeedupVs1Engine = 1
+		last := cr.Runs[len(cr.Runs)-1]
+		if runtime.GOMAXPROCS(0) > 1 && last.Seconds > 0 {
+			cr.SpeedupVs1Engine = cr.Runs[0].Seconds / last.Seconds
+		}
+		out = append(out, cr)
+		fmt.Fprintf(os.Stderr, "cell shards=%d: %v (%.2fx vs 1 engine)\n", shards, cr.Runs, cr.SpeedupVs1Engine)
+	}
+	return out, nil
+}
+
+// benchFileBatch compares the batched write path against per-complaint File
+// on each concurrency-safe backend: the same complaint stream filed one at a
+// time versus in FileBatch chunks (the async drain's shape). The ratio is
+// the per-complaint locking overhead the batch API amortises away.
+func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
+	const batchSize = 64
+	ops := 200_000
+	if quick {
+		ops = 50_000
+	}
+	ids := benchutil.StorePeers(storePeers)
+	stream := make([]complaints.Complaint, ops)
+	for i := range stream {
+		stream[i] = complaints.Complaint{From: ids[(i*7)%len(ids)], About: ids[(i*13+3)%len(ids)]}
+	}
+	var out []batchFileRun
+	for _, spec := range []string{"memory", "sharded", "async:sharded"} {
+		run := batchFileRun{Backend: spec, BatchSize: batchSize}
+		for _, batched := range []bool{false, true} {
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				// Deterministic async mode: both paths pay the drain inline,
+				// so the comparison isolates locking, not goroutine handoff.
+				store, err := complaints.Open(spec, complaints.BackendConfig{BatchSize: batchSize})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if batched {
+					for lo := 0; lo < len(stream); lo += batchSize {
+						hi := lo + batchSize
+						if hi > len(stream) {
+							hi = len(stream)
+						}
+						if err := complaints.FileAll(store, stream[lo:hi]); err != nil {
+							return nil, err
+						}
+					}
+				} else {
+					for _, c := range stream {
+						if err := store.File(c); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if f, ok := store.(complaints.Flusher); ok {
+					if err := f.Flush(); err != nil {
+						return nil, err
+					}
+				}
+				d := time.Since(start)
+				if cerr := benchutil.CloseStore(store); cerr != nil {
+					return nil, cerr
+				}
+				if best == 0 || d < best {
+					best = d
+				}
+			}
+			nsPerOp := float64(best.Nanoseconds()) / float64(ops)
+			if batched {
+				run.BatchNsPerOp = nsPerOp
+			} else {
+				run.SingleNsPerOp = nsPerOp
+			}
+		}
+		if run.BatchNsPerOp > 0 {
+			run.SpeedupBatchVsSingle = run.SingleNsPerOp / run.BatchNsPerOp
+		}
+		out = append(out, run)
+		fmt.Fprintf(os.Stderr, "filebatch %s: %.1f -> %.1f ns/op (%.2fx)\n",
+			spec, run.SingleNsPerOp, run.BatchNsPerOp, run.SpeedupBatchVsSingle)
+	}
+	return out, nil
 }
 
 // storePeers is the contention-benchmark population size.

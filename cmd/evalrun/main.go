@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N] [-repstore sharded,async]
+//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N] [-engines E] [-repstore sharded,async]
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced trial counts (for smoke runs)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := fs.Int("workers", 0, "trial worker pool size; 0 means GOMAXPROCS")
+	engines := fs.Int("engines", 0, "concurrent sub-engines per sharded experiment cell; 0 means min(GOMAXPROCS, cell shard count) — pure parallelism, tables are identical for every value")
 	repstore := fs.String("repstore", "", "restrict the reputation-backend experiments (E10) to these comma-separated complaint-store specs (e.g. sharded,async:sharded); empty runs the default portfolio")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +51,7 @@ func run(args []string) error {
 		}
 	}
 	for _, id := range ids {
-		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, RepStore: *repstore})
+		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, EnginesPerCell: *engines, RepStore: *repstore})
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+
+	"trustcoop/internal/market"
+)
+
+// DefaultCellShards is the sub-engine count a sharded experiment cell
+// decomposes into when its config leaves CellShards at zero. Four keeps the
+// per-shard learning horizon long enough for trust to form while giving the
+// scheduler four independent engines to spread across cores.
+const DefaultCellShards = 4
+
+// RunCell executes one experiment cell — a marketplace described by cfg —
+// sharded across `shards` sub-engines, running at most `engines` of them
+// concurrently, and merges their results in shard order.
+//
+// The decomposition is part of the experiment definition: cfg.Sessions is
+// partitioned into `shards` contiguous chunks, and sub-engine k runs its
+// chunk as an independent marketplace seeded with DeriveSeed(cfg.Seed, k)
+// (its own pairing stream, its own estimators, its own reputation store).
+// With trust learned online that changes the information structure — each
+// shard learns only from its own sessions, like a regional marketplace that
+// never gossips — so experiments that shard their cells say so in their
+// table titles, exactly as the ROADMAP caveat demands for Concurrency and
+// async evidence.
+//
+// `engines` is pure parallelism: the sub-engines are independent and their
+// results reduce in shard order, so for a fixed (cfg, shards) the merged
+// Result — and any table rendered from it — is byte-identical for every
+// engines value. That is the knob RunConfig.EnginesPerCell (cmd/evalrun
+// -engines) turns, and the determinism harness enforces the invariant for
+// engines ∈ {1, 2, 4} across E1–E10.
+//
+// shards <= 1 runs the cell on a single engine, exactly as an unsharded
+// experiment would. engines <= 0 means min(DefaultWorkers(), shards).
+// cfg.Agents is shared by the sub-engines and must not be mutated during the
+// run (agents are read-only to the engine; behaviours and policies are
+// stateless).
+func RunCell(cfg market.Config, shards, engines int) (market.Result, error) {
+	if shards <= 1 {
+		eng, err := market.NewEngine(cfg)
+		if err != nil {
+			return market.Result{}, err
+		}
+		return eng.Run()
+	}
+	if cfg.Sessions < shards {
+		return market.Result{}, fmt.Errorf("eval: cell has %d sessions, cannot shard across %d engines", cfg.Sessions, shards)
+	}
+	if engines <= 0 {
+		engines = min(DefaultWorkers(), shards)
+	} else if engines > shards {
+		// An explicit request for more parallelism than the decomposition
+		// offers gets everything the cell supports.
+		engines = shards
+	}
+	base, rem := cfg.Sessions/shards, cfg.Sessions%shards
+	results, err := RunTrials(engines, shards, func(k int) (market.Result, error) {
+		sub := cfg
+		sub.Seed = DeriveSeed(cfg.Seed, k)
+		sub.Sessions = base
+		if k < rem {
+			sub.Sessions++
+		}
+		if sub.RepStoreConfig.Seed != 0 {
+			// Decorrelate explicitly-seeded backends across shards too.
+			sub.RepStoreConfig.Seed = DeriveSeed(sub.RepStoreConfig.Seed, k)
+		}
+		eng, err := market.NewEngine(sub)
+		if err != nil {
+			return market.Result{}, err
+		}
+		return eng.Run()
+	})
+	if err != nil {
+		return market.Result{}, err
+	}
+	var merged market.Result
+	for _, res := range results {
+		merged.Merge(res)
+	}
+	return merged, nil
+}
+
+// shardedTitle annotates a table title with the cell decomposition, per the
+// ROADMAP caveat that any change to the information structure must be
+// visible in the table itself.
+func shardedTitle(title string, shards int) string {
+	if shards <= 1 {
+		return title
+	}
+	return fmt.Sprintf("%s (cells sharded ×%d: trust learned per shard)", title, shards)
+}

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/market"
+)
+
+func cellAgents(t *testing.T) []*agent.Agent {
+	t.Helper()
+	agents, err := agent.NewPopulation(agent.PopConfig{Honest: 8, Opportunist: 2, Stake: 2 * goods.Unit},
+		rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agents
+}
+
+func cellConfig(t *testing.T, sessions int) market.Config {
+	return market.Config{Seed: 21, Sessions: sessions, Agents: cellAgents(t)}
+}
+
+// TestRunCellUnshardedMatchesSingleEngine: shards <= 1 must be exactly the
+// plain engine path, byte for byte.
+func TestRunCellUnshardedMatchesSingleEngine(t *testing.T) {
+	eng, err := market.NewEngine(cellConfig(t, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1} {
+		got, err := RunCell(cellConfig(t, 50), shards, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Completed != want.Completed || got.Sessions != want.Sessions ||
+			got.Welfare != want.Welfare || got.NetStats != want.NetStats {
+			t.Errorf("shards=%d: %+v != single engine %+v", shards, got, want)
+		}
+	}
+}
+
+// TestRunCellEngineCountInvariant is the tentpole's determinism contract:
+// for a fixed decomposition, the merged result is identical however many
+// sub-engines run concurrently.
+func TestRunCellEngineCountInvariant(t *testing.T) {
+	base, err := RunCell(cellConfig(t, 101), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engines := range []int{2, 3, 4, 16} {
+		got, err := RunCell(cellConfig(t, 101), 4, engines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Completed != base.Completed || got.Defected != base.Defected ||
+			got.Welfare != base.Welfare || got.TradeVolume != base.TradeVolume ||
+			got.NetStats != base.NetStats ||
+			got.ConsumerExposure != base.ConsumerExposure ||
+			got.RealizedConsumerLoss != base.RealizedConsumerLoss {
+			t.Errorf("engines=%d: %+v != engines=1 %+v", engines, got, base)
+		}
+	}
+}
+
+// TestRunCellPartitionsAllSessions: every session of the cell runs exactly
+// once, whatever the remainder of sessions/shards.
+func TestRunCellPartitionsAllSessions(t *testing.T) {
+	for _, tc := range []struct{ sessions, shards int }{{100, 4}, {101, 4}, {7, 7}, {10, 3}} {
+		res, err := RunCell(cellConfig(t, tc.sessions), tc.shards, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sessions != tc.sessions {
+			t.Errorf("sessions=%d shards=%d: merged sessions = %d", tc.sessions, tc.shards, res.Sessions)
+		}
+		if got := res.NoTrade + res.Completed + res.Defected + res.Aborted; got != tc.sessions {
+			t.Errorf("sessions=%d shards=%d: outcome counts sum to %d", tc.sessions, tc.shards, got)
+		}
+	}
+}
+
+// TestRunCellShardsDrawIndependentStreams: two shards must not replay the
+// same marketplace (seed derivation decorrelates them), so the merged result
+// differs from any single shard scaled up.
+func TestRunCellShardsDrawIndependentStreams(t *testing.T) {
+	res2, err := RunCell(cellConfig(t, 80), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4, err := RunCell(cellConfig(t, 80), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different decompositions are different experiments — if they agreed on
+	// every float the shards would have to be replaying identical streams.
+	if res2.ConsumerExposure == res4.ConsumerExposure && res2.Welfare == res4.Welfare &&
+		res2.Completed == res4.Completed && res2.NetStats == res4.NetStats {
+		t.Error("shards=2 and shards=4 produced identical results; sub-engine seeds are not decorrelated")
+	}
+}
+
+// TestRunCellRejectsOverSharding: a cell cannot be split into more engines
+// than it has sessions.
+func TestRunCellRejectsOverSharding(t *testing.T) {
+	if _, err := RunCell(cellConfig(t, 3), 4, 2); err == nil {
+		t.Error("sharding 3 sessions across 4 engines accepted")
+	}
+}
+
+// TestRunCellWithRepStore: sharded cells build one reputation store per
+// sub-engine; the run must succeed and file complaints in every shard.
+func TestRunCellWithRepStore(t *testing.T) {
+	cfg := market.Config{
+		Seed:     9,
+		Sessions: 60,
+		Agents: func() []*agent.Agent {
+			agents, err := agent.NewPopulation(agent.PopConfig{Honest: 6, Opportunist: 3},
+				rand.New(rand.NewSource(2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return agents
+		}(),
+		Strategy: market.StrategyTrustAware,
+		RepStore: "async:sharded",
+	}
+	res, err := RunCell(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 60 {
+		t.Errorf("sessions = %d", res.Sessions)
+	}
+	if res.Defected == 0 {
+		t.Error("no defections against an opportunist third of the population; complaint pipeline untested")
+	}
+}

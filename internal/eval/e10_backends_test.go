@@ -3,37 +3,34 @@ package eval
 import (
 	"strings"
 	"testing"
+
+	"trustcoop/internal/testutil"
 )
 
 func e10Quick(backends ...string) E10Config {
 	return E10Config{Seed: 17, Sessions: 80, Population: 9, BatchSize: 8, GridPeers: 32, Backends: backends}
 }
 
-// TestE10DeterministicAcrossWorkersAndBackends is the PR's headline
-// determinism guarantee: for every backend — including the batched async
-// pipeline — the ablation table is byte-identical whether its cells run on
-// one worker or many, under a fixed seed.
+// TestE10DeterministicAcrossWorkersAndBackends: for every backend —
+// including the batched async pipeline — the ablation table is
+// byte-identical whether its cells run on one worker or many, under a fixed
+// seed (testutil harness).
 func TestE10DeterministicAcrossWorkersAndBackends(t *testing.T) {
 	for _, backend := range DefaultE10Backends() {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
 			t.Parallel()
-			cfg := e10Quick(backend)
-			cfg.Workers = 1
-			base, err := E10BackendAblation(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, workers := range []int{2, 7} {
-				cfg.Workers = workers
-				got, err := E10BackendAblation(cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got.String() != base.String() {
-					t.Errorf("workers=%d table differs from workers=1:\n%s\nvs\n%s", workers, got, base)
+			variant := func(workers int) testutil.Variant {
+				return testutil.Variant{
+					Name: "workers=" + itoa(workers),
+					Run: testutil.Render(func() (*Table, error) {
+						cfg := e10Quick(backend)
+						cfg.Workers = workers
+						return E10BackendAblation(cfg)
+					}),
 				}
 			}
+			testutil.ByteIdentical(t, variant(1), variant(2), variant(7))
 		})
 	}
 }

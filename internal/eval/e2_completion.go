@@ -19,11 +19,21 @@ type E2Config struct {
 	// 1 (sequential sessions, the paper-faithful information structure).
 	Concurrency int
 	Workers     int // trial worker pool; 0 means DefaultWorkers()
+	// CellShards is the fixed sub-engine decomposition of each cell (see
+	// RunCell); 0 means DefaultCellShards. Part of the experiment definition,
+	// noted in the table title.
+	CellShards int
+	// EnginesPerCell bounds how many sub-engines of one cell run at once;
+	// pure parallelism, never changes the table.
+	EnginesPerCell int
 }
 
 func (c E2Config) withDefaults() E2Config {
 	if c.Sessions <= 0 {
 		c.Sessions = 400
+	}
+	if c.CellShards == 0 {
+		c.CellShards = DefaultCellShards
 	}
 	if c.Population <= 0 {
 		c.Population = 24
@@ -41,13 +51,14 @@ func (c E2Config) withDefaults() E2Config {
 // populations with growing cheater fractions: the paper's core promise is
 // that trust-aware scheduling trades (almost) as often as naive exchange
 // while losing (almost) as little as safe-only refusal. Each (cheater
-// fraction, strategy) cell is an independent marketplace run sharded over
-// the trial worker pool.
+// fraction, strategy) cell is an independent marketplace sharded across
+// CellShards sub-engines (RunCell) and over the trial worker pool, so even a
+// single slow cell exploits multiple cores.
 func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E2",
-		Title: "strategy comparison: trade rate, completion, welfare, honest losses",
+		Title: shardedTitle("strategy comparison: trade rate, completion, welfare, honest losses", cfg.CellShards),
 		Cols:  []string{"cheaters", "strategy", "trade rate", "completion", "welfare", "honest loss", "safe plans"},
 	}
 	type cell struct {
@@ -75,17 +86,13 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 		if err != nil {
 			return market.Result{}, err
 		}
-		eng, err := market.NewEngine(market.Config{
+		return RunCell(market.Config{
 			Seed:        DeriveSeed(cfg.Seed, ci),
 			Sessions:    cfg.Sessions,
 			Agents:      agents,
 			Strategy:    c.strat,
 			Concurrency: cfg.Concurrency,
-		})
-		if err != nil {
-			return market.Result{}, err
-		}
-		return eng.Run()
+		}, cfg.CellShards, cfg.EnginesPerCell)
 	})
 	if err != nil {
 		return nil, err

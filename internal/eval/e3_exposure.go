@@ -15,11 +15,20 @@ type E3Config struct {
 	Population int       // 0 means 20
 	CheaterPct []float64 // nil means {0.2, 0.4, 0.6}
 	Workers    int       // trial worker pool; 0 means DefaultWorkers()
+	// CellShards is the fixed sub-engine decomposition of each cell (see
+	// RunCell); 0 means DefaultCellShards.
+	CellShards int
+	// EnginesPerCell bounds how many sub-engines of one cell run at once;
+	// pure parallelism, never changes the table.
+	EnginesPerCell int
 }
 
 func (c E3Config) withDefaults() E3Config {
 	if c.Sessions <= 0 {
 		c.Sessions = 400
+	}
+	if c.CellShards == 0 {
+		c.CellShards = DefaultCellShards
 	}
 	if c.Population <= 0 {
 		c.Population = 20
@@ -36,12 +45,15 @@ func (c E3Config) withDefaults() E3Config {
 // (credit is extended against trust), so the supplier side is where losses
 // land; both sides are reported, with the count of sessions whose realised
 // loss exceeded the planned worst case (must be 0 on both sides). Each
-// cheater-fraction cell runs as an independent sharded trial.
+// cheater-fraction cell runs as an independent trial, itself sharded across
+// CellShards sub-engines (RunCell); the exposure bound is a per-session
+// property, so it survives any decomposition — merged realised maxima stay
+// below merged planned maxima shard by shard.
 func E3LossExposure(cfg E3Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E3",
-		Title: "planned exposure bounds realised losses (trust-aware strategy)",
+		Title: shardedTitle("planned exposure bounds realised losses (trust-aware strategy)", cfg.CellShards),
 		Cols: []string{"cheaters", "side", "planned mean", "planned max",
 			"realised mean", "realised max", "violations"},
 	}
@@ -57,16 +69,12 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 		if err != nil {
 			return market.Result{}, err
 		}
-		eng, err := market.NewEngine(market.Config{
+		return RunCell(market.Config{
 			Seed:     DeriveSeed(cfg.Seed, ci),
 			Sessions: cfg.Sessions,
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
-		})
-		if err != nil {
-			return market.Result{}, err
-		}
-		return eng.Run()
+		}, cfg.CellShards, cfg.EnginesPerCell)
 	})
 	if err != nil {
 		return nil, err

@@ -16,11 +16,20 @@ type E6Config struct {
 	Population int       // 0 means 18
 	Alphas     []float64 // CARA coefficients; nil means {0, 0.05, 0.2, 0.8}
 	Workers    int       // trial worker pool; 0 means DefaultWorkers()
+	// CellShards is the fixed sub-engine decomposition of each cell (see
+	// RunCell); 0 means DefaultCellShards.
+	CellShards int
+	// EnginesPerCell bounds how many sub-engines of one cell run at once;
+	// pure parallelism, never changes the table.
+	EnginesPerCell int
 }
 
 func (c E6Config) withDefaults() E6Config {
 	if c.Sessions <= 0 {
 		c.Sessions = 400
+	}
+	if c.CellShards == 0 {
+		c.CellShards = DefaultCellShards
 	}
 	if c.Population <= 0 {
 		c.Population = 18
@@ -42,7 +51,7 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E6",
-		Title: "risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary",
+		Title: shardedTitle("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary", cfg.CellShards),
 		Cols:  []string{"policy", "trade rate", "completion", "welfare", "honest loss", "max loss"},
 	}
 	results, err := RunTrials(cfg.Workers, len(cfg.Alphas), func(ci int) (market.Result, error) {
@@ -64,16 +73,12 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 		if err != nil {
 			return market.Result{}, err
 		}
-		eng, err := market.NewEngine(market.Config{
+		return RunCell(market.Config{
 			Seed:     DeriveSeed(cfg.Seed+100, ci),
 			Sessions: cfg.Sessions,
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
-		})
-		if err != nil {
-			return market.Result{}, err
-		}
-		return eng.Run()
+		}, cfg.CellShards, cfg.EnginesPerCell)
 	})
 	if err != nil {
 		return nil, err

@@ -12,7 +12,8 @@ type Runner func(rc RunConfig) (*Table, error)
 
 // All returns the experiment registry: id → runner. RunConfig.Quick shrinks
 // trial counts for smoke tests and benchmarks; RunConfig.Workers bounds the
-// trial worker pool (tables are identical for every worker count).
+// trial worker pool and RunConfig.EnginesPerCell the per-cell sub-engine
+// pool (tables are identical for every worker and engine count).
 func All() map[string]Runner {
 	return map[string]Runner{
 		"E1": func(rc RunConfig) (*Table, error) {
@@ -24,7 +25,7 @@ func All() map[string]Runner {
 			return E1SafeExistence(cfg)
 		},
 		"E2": func(rc RunConfig) (*Table, error) {
-			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers()}
+			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
@@ -33,7 +34,7 @@ func All() map[string]Runner {
 			return E2CompletionWelfare(cfg)
 		},
 		"E3": func(rc RunConfig) (*Table, error) {
-			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers()}
+			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
@@ -60,7 +61,7 @@ func All() map[string]Runner {
 			return E5Complexity(cfg)
 		},
 		"E6": func(rc RunConfig) (*Table, error) {
-			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers()}
+			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 9

@@ -21,6 +21,11 @@ type RunConfig struct {
 	// trial draws from its own seed-derived random stream and results reduce
 	// in trial order.
 	Workers int
+	// EnginesPerCell bounds how many of a sharded cell's sub-engines run
+	// concurrently (see RunCell); 0 means min(DefaultWorkers(), shard count).
+	// Like Workers it is pure parallelism: the cell decomposition is fixed by
+	// the experiment config, so tables are identical for every value.
+	EnginesPerCell int
 	// RepStore restricts the reputation-backend experiments (E10) to a
 	// comma-separated list of complaint-store specs (e.g.
 	// "sharded,async:sharded"); empty runs the default portfolio.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"trustcoop/internal/testutil"
 )
 
 func TestRunTrialsIndexedResults(t *testing.T) {
@@ -70,6 +72,14 @@ func TestDeriveSeedDecorrelates(t *testing.T) {
 	}
 }
 
+// tableVariant renders one experiment regeneration as a testutil.Variant.
+func tableVariant(name, id string, rc RunConfig) testutil.Variant {
+	return testutil.Variant{
+		Name: name,
+		Run:  testutil.Render(func() (*Table, error) { return Run(id, rc) }),
+	}
+}
+
 // TestTablesIdenticalAcrossWorkerCounts is the headline determinism
 // guarantee of the sharded runner: every experiment renders byte-identical
 // tables whether its trials run on one worker or many. E5 is exempt — it
@@ -82,19 +92,34 @@ func TestTablesIdenticalAcrossWorkerCounts(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			base, err := Run(id, RunConfig{Seed: 11, Quick: true, Workers: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, workers := range []int{2, 7} {
-				got, err := Run(id, RunConfig{Seed: 11, Quick: true, Workers: workers})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got.String() != base.String() {
-					t.Errorf("workers=%d table differs from workers=1:\n%s\nvs\n%s", workers, got, base)
-				}
-			}
+			testutil.ByteIdentical(t,
+				tableVariant("workers=1", id, RunConfig{Seed: 11, Quick: true, Workers: 1}),
+				tableVariant("workers=2", id, RunConfig{Seed: 11, Quick: true, Workers: 2}),
+				tableVariant("workers=7", id, RunConfig{Seed: 11, Quick: true, Workers: 7}),
+			)
+		})
+	}
+}
+
+// TestTablesIdenticalAcrossEnginesPerCell is the cell-sharding determinism
+// guarantee: EnginesPerCell only changes how many of a cell's fixed
+// sub-engines run concurrently, so every experiment's table — sharded cells
+// (E2, E3, E6) and unsharded ones alike — is byte-identical for
+// EnginesPerCell ∈ {1, 2, 4} at a fixed seed. E5 is exempt as always (it
+// measures wall-clock time).
+func TestTablesIdenticalAcrossEnginesPerCell(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "E5" {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			testutil.ByteIdentical(t,
+				tableVariant("engines=1", id, RunConfig{Seed: 13, Quick: true, EnginesPerCell: 1}),
+				tableVariant("engines=2", id, RunConfig{Seed: 13, Quick: true, EnginesPerCell: 2}),
+				tableVariant("engines=4", id, RunConfig{Seed: 13, Quick: true, EnginesPerCell: 4}),
+			)
 		})
 	}
 }

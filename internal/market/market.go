@@ -162,6 +162,35 @@ type Result struct {
 	NetStats netsim.Stats
 }
 
+// Merge folds other into r, as if both runs' sessions had executed on one
+// engine: counts and money sum, the exposure and loss samples merge through
+// stats.Sample.Merge, per-behaviour defection counts and network stats add
+// up. Merging in a fixed order is deterministic, which is what lets a cell
+// sharded across sub-engines (eval.RunCell) reduce to one Result that is
+// byte-identical however many engines ran concurrently.
+func (r *Result) Merge(other Result) {
+	r.Sessions += other.Sessions
+	r.NoTrade += other.NoTrade
+	r.Completed += other.Completed
+	r.Defected += other.Defected
+	r.Aborted += other.Aborted
+	r.Welfare += other.Welfare
+	r.TradeVolume += other.TradeVolume
+	r.HonestVictimLoss += other.HonestVictimLoss
+	r.ConsumerExposure.Merge(other.ConsumerExposure)
+	r.SupplierExposure.Merge(other.SupplierExposure)
+	r.RealizedConsumerLoss.Merge(other.RealizedConsumerLoss)
+	r.RealizedSupplierLoss.Merge(other.RealizedSupplierLoss)
+	r.ModeSafe += other.ModeSafe
+	if len(other.DefectionsBy) > 0 && r.DefectionsBy == nil {
+		r.DefectionsBy = make(map[string]int, len(other.DefectionsBy))
+	}
+	for name, n := range other.DefectionsBy {
+		r.DefectionsBy[name] += n
+	}
+	r.NetStats.Add(other.NetStats)
+}
+
 // CompletionRate is Completed over trades actually attempted (excluding
 // NoTrade and network aborts).
 func (r Result) CompletionRate() float64 {

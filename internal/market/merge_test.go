@@ -1,0 +1,96 @@
+package market
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/netsim"
+)
+
+// TestResultMergeFoldsEveryField checks Merge against a hand-built pair of
+// results: counts and money sum, samples merge, maps and net stats add.
+func TestResultMergeFoldsEveryField(t *testing.T) {
+	var a, b Result
+	a.Sessions, b.Sessions = 3, 4
+	a.NoTrade, b.NoTrade = 1, 0
+	a.Completed, b.Completed = 2, 3
+	a.Defected, b.Defected = 0, 1
+	a.Aborted, b.Aborted = 0, 0
+	a.Welfare, b.Welfare = 10, -3
+	a.TradeVolume, b.TradeVolume = 100, 200
+	a.HonestVictimLoss, b.HonestVictimLoss = 5, 7
+	a.ModeSafe, b.ModeSafe = 1, 2
+	a.ConsumerExposure.Add(1)
+	a.ConsumerExposure.Add(3)
+	b.ConsumerExposure.Add(5)
+	b.DefectionsBy = map[string]int{"opportunist": 2}
+	a.NetStats = netsim.Stats{Sent: 10, Delivered: 9, Dropped: 1}
+	b.NetStats = netsim.Stats{Sent: 4, Delivered: 4}
+
+	a.Merge(b)
+	if a.Sessions != 7 || a.NoTrade != 1 || a.Completed != 5 || a.Defected != 1 {
+		t.Errorf("counts: %+v", a)
+	}
+	if a.Welfare != 7 || a.TradeVolume != 300 || a.HonestVictimLoss != 12 || a.ModeSafe != 3 {
+		t.Errorf("money: %+v", a)
+	}
+	if n := a.ConsumerExposure.Count(); n != 3 {
+		t.Errorf("merged sample count = %d, want 3", n)
+	}
+	if mean := a.ConsumerExposure.Mean(); math.Abs(mean-3) > 1e-12 {
+		t.Errorf("merged sample mean = %v, want 3", mean)
+	}
+	if a.DefectionsBy["opportunist"] != 2 {
+		t.Errorf("DefectionsBy not summed into nil map: %v", a.DefectionsBy)
+	}
+	if a.NetStats != (netsim.Stats{Sent: 14, Delivered: 13, Dropped: 1}) {
+		t.Errorf("net stats: %+v", a.NetStats)
+	}
+}
+
+// TestResultMergeMatchesSingleRunAggregates: merging the results of two
+// engine runs must equal one engine having run both workloads, for every
+// exactly-summable field (the Sample moments are checked to float tolerance
+// by the stats package's own merge properties).
+func TestResultMergeMatchesSingleRunAggregates(t *testing.T) {
+	run := func(seed int64, sessions int) Result {
+		agents, err := agent.NewPopulation(agent.PopConfig{Honest: 6, Opportunist: 2, Stake: 2 * goods.Unit},
+			rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(Config{Seed: seed, Sessions: sessions, Agents: agents})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(3, 40), run(4, 60)
+	var merged Result
+	merged.Merge(r1)
+	merged.Merge(r2)
+	if merged.Sessions != 100 {
+		t.Errorf("sessions = %d, want 100", merged.Sessions)
+	}
+	if got, want := merged.Completed, r1.Completed+r2.Completed; got != want {
+		t.Errorf("completed = %d, want %d", got, want)
+	}
+	if got, want := merged.Welfare, r1.Welfare+r2.Welfare; got != want {
+		t.Errorf("welfare = %v, want %v", got, want)
+	}
+	if got, want := merged.NetStats.Sent, r1.NetStats.Sent+r2.NetStats.Sent; got != want {
+		t.Errorf("sent = %d, want %d", got, want)
+	}
+	for name, n := range r1.DefectionsBy {
+		if merged.DefectionsBy[name] != n+r2.DefectionsBy[name] {
+			t.Errorf("defections[%s] = %d", name, merged.DefectionsBy[name])
+		}
+	}
+}

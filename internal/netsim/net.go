@@ -47,6 +47,16 @@ type Stats struct {
 	NoRoute     int // destination not registered
 }
 
+// Add folds other into s, as if both networks' activity had been counted on
+// one. Used when merging the results of sharded simulation runs.
+func (s *Stats) Add(other Stats) {
+	s.Sent += other.Sent
+	s.Delivered += other.Delivered
+	s.Dropped += other.Dropped
+	s.Partitioned += other.Partitioned
+	s.NoRoute += other.NoRoute
+}
+
 // Network delivers messages between registered nodes over a Simulator with
 // configurable latency, random loss and partitions. Like the Simulator it is
 // single-threaded.

@@ -1,0 +1,68 @@
+package pgrid
+
+import (
+	"strings"
+	"testing"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// FuzzComplaintRoundTrip: every (From, About) pair — including IDs that
+// contain the ':' and '>' separators or are empty — must survive the
+// length-prefixed encoding unchanged. This is the injection resistance the
+// encoding exists for: a crafted PeerID must not be able to impersonate
+// another peer's complaint record.
+func FuzzComplaintRoundTrip(f *testing.F) {
+	f.Add("alice", "bob")
+	f.Add("a:b", "c>d")
+	f.Add("", "")
+	f.Add("5:x>y", ">")
+	f.Add("peer-0001", "peer-0002:extra>stuff")
+	f.Fuzz(func(t *testing.T, from, about string) {
+		c := complaints.Complaint{From: trust.PeerID(from), About: trust.PeerID(about)}
+		v := encodeComplaint(c)
+		gotFrom, gotAbout, ok := decodeComplaint(v)
+		if !ok {
+			t.Fatalf("encoding of (%q, %q) does not decode: %q", from, about, v)
+		}
+		if gotFrom != c.From || gotAbout != c.About {
+			t.Fatalf("round trip (%q, %q) -> %q -> (%q, %q)", from, about, v, gotFrom, gotAbout)
+		}
+	})
+}
+
+// FuzzComplaintDecode feeds hostile stored values — what a malicious P-Grid
+// replica could return — to the decoder: it must never panic, and anything
+// it does accept must round-trip consistently, so fabricated garbage cannot
+// be double-counted under two different identities.
+func FuzzComplaintDecode(f *testing.F) {
+	f.Add("")
+	f.Add("5:alice>bob")
+	f.Add(":>")
+	f.Add("-1:x>y")
+	f.Add("999999999999999999999:a>b")
+	f.Add("3:ab>")
+	f.Add("02:ab>cd")
+	f.Add("+2:ab>cd")
+	f.Add("1:\xff>\x00")
+	f.Fuzz(func(t *testing.T, v string) {
+		from, about, ok := decodeComplaint(v)
+		if !ok {
+			return // rejected garbage; the counters ignore it
+		}
+		// Accepted values must decode to the same identities their canonical
+		// re-encoding decodes to: one stored value, one attributable pair.
+		re := encodeComplaint(complaints.Complaint{From: from, About: about})
+		from2, about2, ok2 := decodeComplaint(re)
+		if !ok2 || from2 != from || about2 != about {
+			t.Fatalf("accepted %q -> (%q, %q) but re-encoding %q decodes to (%q, %q, %v)",
+				v, from, about, re, from2, about2, ok2)
+		}
+		// The decoded From must be exactly the length the prefix promised —
+		// no silent truncation or spill into About.
+		if !strings.Contains(v, string(from)+">") {
+			t.Fatalf("decoded From %q not present before a separator in %q", from, v)
+		}
+	})
+}

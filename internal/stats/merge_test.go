@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// approxEqual compares two floats to a relative tolerance: Welford merges
+// reassociate the summation, so the last bits may differ while the
+// statistics are the same.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+func sampleEquiv(t *testing.T, label string, a, b Sample) {
+	t.Helper()
+	if a.Count() != b.Count() {
+		t.Errorf("%s: count %d != %d", label, a.Count(), b.Count())
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Errorf("%s: min/max (%v,%v) != (%v,%v)", label, a.Min(), a.Max(), b.Min(), b.Max())
+	}
+	if !approxEqual(a.Sum(), b.Sum()) {
+		t.Errorf("%s: sum %v != %v", label, a.Sum(), b.Sum())
+	}
+	if !approxEqual(a.Mean(), b.Mean()) {
+		t.Errorf("%s: mean %v != %v", label, a.Mean(), b.Mean())
+	}
+	if !approxEqual(a.Variance(), b.Variance()) {
+		t.Errorf("%s: variance %v != %v", label, a.Variance(), b.Variance())
+	}
+}
+
+func randomSample(rng *rand.Rand, n int) Sample {
+	var s Sample
+	for i := 0; i < n; i++ {
+		// Mixed magnitudes stress the numerically interesting paths.
+		s.Add(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3)))
+	}
+	return s
+}
+
+// TestSampleMergeOfSplitsEqualsWhole: splitting one observation stream at
+// any point and merging the halves must reproduce the whole-stream
+// accumulator — the exact property eval.RunCell relies on when it reduces a
+// sharded cell's sub-engine results.
+func TestSampleMergeOfSplitsEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+	}
+	var whole Sample
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 64, 128, 256, len(xs)} {
+		var lo, hi Sample
+		for _, x := range xs[:cut] {
+			lo.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			hi.Add(x)
+		}
+		lo.Merge(hi)
+		sampleEquiv(t, "cut="+strconv.Itoa(cut), lo, whole)
+	}
+}
+
+// TestSampleMergeOrderIndependent: a.Merge(b) and b.Merge(a) describe the
+// same pooled sample.
+func TestSampleMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a1, b1 := randomSample(rng, rng.Intn(50)), randomSample(rng, rng.Intn(50))
+		a2, b2 := a1, b1
+		a1.Merge(b1)
+		b2.Merge(a2)
+		sampleEquiv(t, "commutativity", a1, b2)
+	}
+}
+
+// TestSampleMergeAssociative: (a⊕b)⊕c ≡ a⊕(b⊕c), so a cell can reduce its
+// shards in any grouping — only the order of the final reduction needs to be
+// fixed for byte-identical output, which RunCell fixes to shard order.
+func TestSampleMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a, b, c := randomSample(rng, rng.Intn(40)), randomSample(rng, rng.Intn(40)), randomSample(rng, rng.Intn(40))
+		left := a
+		left.Merge(b)
+		left.Merge(c)
+		bc := b
+		bc.Merge(c)
+		right := a
+		right.Merge(bc)
+		sampleEquiv(t, "associativity", left, right)
+	}
+}
+
+// TestSampleMergeEmptyIsIdentity: merging an empty sample in either
+// direction changes nothing — empty shards (a cell with fewer eligible
+// sessions than shards) must be invisible in the reduction.
+func TestSampleMergeEmptyIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSample(rng, 17)
+	orig := s
+	s.Merge(Sample{})
+	if s != orig {
+		t.Errorf("merge with empty changed the sample: %+v != %+v", s, orig)
+	}
+	var empty Sample
+	empty.Merge(orig)
+	if empty != orig {
+		t.Errorf("empty.Merge(s) != s: %+v != %+v", empty, orig)
+	}
+}
+
+// TestSampleMergeDeterministic: the same merge of the same values is
+// bit-identical — the foundation of the byte-identical table guarantee.
+func TestSampleMergeDeterministic(t *testing.T) {
+	build := func() Sample {
+		rng := rand.New(rand.NewSource(5))
+		parts := make([]Sample, 4)
+		for i := range parts {
+			parts[i] = randomSample(rng, 30)
+		}
+		var total Sample
+		for _, p := range parts {
+			total.Merge(p)
+		}
+		return total
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("repeated identical merges differ: %+v != %+v", a, b)
+	}
+}

@@ -1,0 +1,94 @@
+// Package testutil is the repository's shared determinism test harness.
+//
+// The codebase promises one invariant over and over: a knob that only adds
+// parallelism or changes a storage backend must never change an experiment's
+// rendered table — worker counts (eval.RunConfig.Workers), per-cell engine
+// counts (eval.RunConfig.EnginesPerCell), exact-store backends. Before this
+// package every such test hand-rolled the same loop (run base, run variant,
+// compare strings). The harness centralises it: describe the base run and
+// the variants, and ByteIdentical regenerates each and fails with a
+// line-level diff pointer on the first byte that differs.
+//
+// The harness deliberately consumes plain rendered strings rather than
+// eval.Table values: the packages under test import nothing from here, and
+// this package imports nothing from them, so it is usable from any package's
+// internal tests (including internal/eval's own) without import cycles.
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Variant is one knob setting of a regeneration: Run produces the rendered
+// artefact (a table, a report — any string) under that setting.
+type Variant struct {
+	Name string
+	Run  func() (string, error)
+}
+
+// Render adapts a function producing any fmt.Stringer (eval tables, reports)
+// to the string-returning shape Variant consumes.
+func Render[T fmt.Stringer](run func() (T, error)) func() (string, error) {
+	return func() (string, error) {
+		v, err := run()
+		if err != nil {
+			return "", err
+		}
+		return v.String(), nil
+	}
+}
+
+// ByteIdentical regenerates base and every variant and fails t unless every
+// variant's rendering is byte-for-byte equal to the base's. The failure
+// message pinpoints the first differing line, so a one-cell drift in a
+// 40-row table reads as one line, not two full table dumps to eyeball.
+func ByteIdentical(t testing.TB, base Variant, variants ...Variant) {
+	t.Helper()
+	want, err := base.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", base.Name, err)
+	}
+	for _, v := range variants {
+		got, err := v.Run()
+		if err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s differs from %s:\n%s", v.Name, base.Name, FirstDiff(want, got))
+		}
+	}
+}
+
+// FirstDiff renders the first line-level difference between two strings:
+// the 1-based line number, the two lines, and a caret under the first
+// differing byte. Equal inputs render as "<identical>".
+func FirstDiff(want, got string) string {
+	if want == got {
+		return "<identical>"
+	}
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		col := 0
+		for col < len(w) && col < len(g) && w[col] == g[col] {
+			col++
+		}
+		return fmt.Sprintf("line %d, byte %d:\nwant: %q\ngot:  %q\n      %s^",
+			i+1, col+1, w, g, strings.Repeat(" ", col+1))
+	}
+	// Only possible when the strings differ but every split line matches —
+	// i.e. a trailing-newline difference.
+	return fmt.Sprintf("line count %d vs %d (trailing newline difference)", len(wl), len(gl))
+}

@@ -83,9 +83,11 @@ type AsyncStore struct {
 }
 
 var (
-	_ Store   = (*AsyncStore)(nil)
-	_ Counter = (*AsyncStore)(nil)
-	_ Flusher = (*AsyncStore)(nil)
+	_ Store       = (*AsyncStore)(nil)
+	_ Counter     = (*AsyncStore)(nil)
+	_ Flusher     = (*AsyncStore)(nil)
+	_ BatchFiler  = (*AsyncStore)(nil)
+	_ Snapshotter = (*AsyncStore)(nil)
 )
 
 // NewAsyncStore wraps inner per cfg.
@@ -137,17 +139,56 @@ func (s *AsyncStore) File(c Complaint) error {
 	return err
 }
 
+// FileBatch implements BatchFiler: the whole batch is enqueued with one
+// bookkeeping pass (deterministic mode: one mutex acquisition; background
+// mode: one send-gate hold), and it drains to the inner store through the
+// inner's own FileBatch — so a batch travels the entire write-behind
+// pipeline with per-batch, not per-complaint, locking. The returned error
+// follows the File contract: a sticky earlier inner-store failure, or the
+// synchronous drain this batch triggered in deterministic mode.
+func (s *AsyncStore) FileBatch(batch []Complaint) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if s.workers == 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		s.pending = append(s.pending, batch...)
+		s.enqueued.Add(int64(len(batch)))
+		if len(s.pending) >= s.batch {
+			return s.applyPendingLocked()
+		}
+		return s.err
+	}
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	s.enqueued.Add(int64(len(batch)))
+	err := s.err
+	s.mu.Unlock()
+	for _, c := range batch {
+		s.ch <- c
+	}
+	return err
+}
+
 // applyPendingLocked applies the deterministic-mode buffer to the inner
-// store in filing order. Every buffered complaint is attempted even after a
+// store in filing order, as one batch (FileAll uses the inner store's
+// BatchFiler when it has one, so a lock-striped inner store is locked once
+// per shard per drain). Every buffered complaint is attempted even after a
 // failure; the first error is kept sticky.
 func (s *AsyncStore) applyPendingLocked() error {
 	if len(s.pending) == 0 {
 		return s.err
 	}
-	for _, c := range s.pending {
-		if err := s.inner.File(c); err != nil && s.err == nil {
-			s.err = err
-		}
+	if err := FileAll(s.inner, s.pending); err != nil && s.err == nil {
+		s.err = err
 	}
 	s.applied.Add(int64(len(s.pending)))
 	s.batches.Add(1)
@@ -180,13 +221,11 @@ func (s *AsyncStore) worker() {
 	}
 }
 
+// apply lands one collected batch on the inner store — through the inner's
+// BatchFiler when it has one, so background drain also locks per batch, not
+// per complaint.
 func (s *AsyncStore) apply(buf []Complaint) {
-	var firstErr error
-	for _, c := range buf {
-		if err := s.inner.File(c); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
+	firstErr := FileAll(s.inner, buf)
 	s.mu.Lock()
 	if s.err == nil {
 		s.err = firstErr
@@ -199,10 +238,15 @@ func (s *AsyncStore) apply(buf []Complaint) {
 
 // noteRead updates the staleness accounting for one read, without touching
 // the store mutex (see the field comment).
-func (s *AsyncStore) noteRead() {
-	s.reads.Add(1)
+func (s *AsyncStore) noteRead() { s.noteReads(1) }
+
+// noteReads accounts for n reads sharing one staleness observation (a bulk
+// CountsAll scan counts like n individual reads, so stale-read fractions
+// stay comparable whichever read path the assessor takes).
+func (s *AsyncStore) noteReads(n int) {
+	s.reads.Add(int64(n))
 	if s.applied.Load() != s.enqueued.Load() {
-		s.staleReads.Add(1)
+		s.staleReads.Add(int64(n))
 	}
 }
 
@@ -224,6 +268,14 @@ func (s *AsyncStore) Filed(p trust.PeerID) (int, error) {
 func (s *AsyncStore) Counts(p trust.PeerID) (received, filed int, err error) {
 	s.noteRead()
 	return counts(s.inner, p)
+}
+
+// CountsAll implements Snapshotter, delegating to the inner store's bulk
+// scan when it has one. Like every read it sees counts that lag filing by
+// the current backlog; the whole scan shares one staleness observation.
+func (s *AsyncStore) CountsAll(peers []trust.PeerID) ([]Tally, error) {
+	s.noteReads(len(peers))
+	return CountsAll(s.inner, peers)
 }
 
 // Flush implements Flusher: it blocks until every complaint filed so far is

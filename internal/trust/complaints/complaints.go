@@ -48,6 +48,71 @@ type Counter interface {
 	Counts(p trust.PeerID) (received, filed int, err error)
 }
 
+// BatchFiler is an optional Store extension for amortised writes: FileBatch
+// records every complaint of the batch with (for locked stores) one lock
+// pass per shard per batch instead of per complaint. Implementations must
+// attempt every complaint even after a failure and return the first error —
+// the same never-silently-drop contract File has. FileAll routes through it
+// when available.
+type BatchFiler interface {
+	FileBatch(batch []Complaint) error
+}
+
+// Tally holds both complaint counters of one peer, the unit of the
+// Snapshotter bulk read.
+type Tally struct {
+	Received, Filed int
+}
+
+// Snapshotter is an optional Store extension for bulk reads: CountsAll
+// returns the tallies of every listed peer, taking each shard lock once per
+// scan instead of once per peer. The assessor's averageProduct — a
+// population-wide scan executed on every trust decision — is the consumer.
+// CountsAll routes through it when available.
+type Snapshotter interface {
+	// CountsAll returns one Tally per peer, indexed like peers.
+	CountsAll(peers []trust.PeerID) ([]Tally, error)
+}
+
+// FileAll records a batch of complaints through the store's BatchFiler when
+// it has one, falling back to one File call per complaint (attempting every
+// complaint and keeping the first error, matching the BatchFiler contract).
+func FileAll(s Store, batch []Complaint) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if bf, ok := s.(BatchFiler); ok {
+		return bf.FileBatch(batch)
+	}
+	var firstErr error
+	for _, c := range batch {
+		if err := s.File(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CountsAll reads the tallies of every listed peer, through Snapshotter when
+// the store provides the bulk scan and per-peer otherwise.
+func CountsAll(s Store, peers []trust.PeerID) ([]Tally, error) {
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	if sn, ok := s.(Snapshotter); ok {
+		return sn.CountsAll(peers)
+	}
+	out := make([]Tally, len(peers))
+	for i, p := range peers {
+		cr, cf, err := counts(s, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Tally{Received: cr, Filed: cf}
+	}
+	return out, nil
+}
+
 // Flusher is an optional Store extension for write-behind stores: Flush
 // blocks until every complaint filed so far has been applied to the
 // underlying storage and reports the first storage error. Read-through
@@ -86,7 +151,11 @@ func NewMemoryStore() *MemoryStore {
 	return &MemoryStore{received: make(map[trust.PeerID]int), filed: make(map[trust.PeerID]int)}
 }
 
-var _ Store = (*MemoryStore)(nil)
+var (
+	_ Store       = (*MemoryStore)(nil)
+	_ BatchFiler  = (*MemoryStore)(nil)
+	_ Snapshotter = (*MemoryStore)(nil)
+)
 
 // File implements Store.
 func (s *MemoryStore) File(c Complaint) error {
@@ -95,6 +164,32 @@ func (s *MemoryStore) File(c Complaint) error {
 	s.received[c.About]++
 	s.filed[c.From]++
 	return nil
+}
+
+// FileBatch implements BatchFiler: the whole batch lands under one lock
+// acquisition instead of one per complaint.
+func (s *MemoryStore) FileBatch(batch []Complaint) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range batch {
+		s.received[c.About]++
+		s.filed[c.From]++
+	}
+	return nil
+}
+
+// CountsAll implements Snapshotter: one lock acquisition for the whole scan.
+func (s *MemoryStore) CountsAll(peers []trust.PeerID) ([]Tally, error) {
+	out := make([]Tally, len(peers))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range peers {
+		out[i] = Tally{Received: s.received[p], Filed: s.filed[p]}
+	}
+	return out, nil
 }
 
 // Received implements Store.
@@ -133,28 +228,37 @@ func (a Assessor) factor() float64 {
 	return a.Factor
 }
 
-// Product returns cr(q)·cf(q) with add-one smoothing, so that a peer with
-// complaints received but none filed still scores.
+// smoothedProduct is the complaint product cr·cf with add-one smoothing, so
+// that a peer with complaints received but none filed still scores. The one
+// definition serves both the per-peer read and the population scan.
+func smoothedProduct(received, filed int) float64 {
+	return float64(received+1) * float64(filed+1)
+}
+
+// Product returns the peer's smoothed complaint product cr(q)·cf(q).
 func (a Assessor) Product(q trust.PeerID) (float64, error) {
 	cr, cf, err := counts(a.Store, q)
 	if err != nil {
 		return 0, err
 	}
-	return float64(cr+1) * float64(cf+1), nil
+	return smoothedProduct(cr, cf), nil
 }
 
-// averageProduct is the population mean of the complaint product.
+// averageProduct is the population mean of the complaint product. The scan
+// goes through CountsAll, so a Snapshotter store serves it with one lock
+// pass per shard instead of one locked lookup per population member — the
+// trust-aware planner runs this scan on every decision.
 func (a Assessor) averageProduct() (float64, error) {
 	if len(a.Population) == 0 {
 		return 1, nil
 	}
+	tallies, err := CountsAll(a.Store, a.Population)
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
-	for _, p := range a.Population {
-		prod, err := a.Product(p)
-		if err != nil {
-			return 0, err
-		}
-		sum += prod
+	for _, ty := range tallies {
+		sum += smoothedProduct(ty.Received, ty.Filed)
 	}
 	return sum / float64(len(a.Population)), nil
 }

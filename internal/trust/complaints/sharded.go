@@ -39,8 +39,10 @@ type ShardedStore struct {
 }
 
 var (
-	_ Store   = (*ShardedStore)(nil)
-	_ Counter = (*ShardedStore)(nil)
+	_ Store       = (*ShardedStore)(nil)
+	_ Counter     = (*ShardedStore)(nil)
+	_ BatchFiler  = (*ShardedStore)(nil)
+	_ Snapshotter = (*ShardedStore)(nil)
 )
 
 // NewShardedStore returns an empty store with the given shard count rounded
@@ -114,4 +116,109 @@ func (s *ShardedStore) Counts(p trust.PeerID) (received, filed int, err error) {
 	}
 	sh.mu.Unlock()
 	return received, filed, nil
+}
+
+// shardIdx is the stripe a peer hashes onto.
+func (s *ShardedStore) shardIdx(p trust.PeerID) uint64 {
+	return maphash.String(s.seed, string(p)) & s.mask
+}
+
+// bumpLocked increments one counter of p on a shard whose lock the caller
+// holds.
+func (sh *shardedShard) bumpLocked(p trust.PeerID, filed bool) {
+	e := sh.m[p]
+	if e == nil {
+		e = &shardedEntry{}
+		sh.m[p] = e
+	}
+	if filed {
+		e.filed++
+	} else {
+		e.received++
+	}
+}
+
+// groupByStripe counting-sorts n stripe-tagged entries into contiguous
+// per-stripe ranges: starts[st]..starts[st+1] indexes the entries of stripe
+// st in ordered position order. One O(n + shards) pass, no per-stripe
+// rescans, peer hashes computed exactly once — all outside any lock.
+func groupByStripe(stripes []uint32, nshards int) (starts, ordered []int32) {
+	starts = make([]int32, nshards+1)
+	for _, st := range stripes {
+		starts[st+1]++
+	}
+	for i := 1; i < len(starts); i++ {
+		starts[i] += starts[i-1]
+	}
+	ordered = make([]int32, len(stripes))
+	cur := make([]int32, nshards)
+	copy(cur, starts[:nshards])
+	for i, st := range stripes {
+		ordered[cur[st]] = int32(i)
+		cur[st]++
+	}
+	return starts, ordered
+}
+
+// FileBatch implements BatchFiler: each complaint needs two counter bumps
+// (received for About, filed for From); the bumps are grouped by stripe so
+// every shard lock is taken at most once per batch, however large the batch —
+// where File pays two lock acquisitions per complaint. Counter updates
+// commute, so regrouping never changes the resulting counts.
+func (s *ShardedStore) FileBatch(batch []Complaint) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	// Bump b corresponds to batch[b/2]: even b is About's received bump, odd
+	// b is From's filed bump.
+	stripes := make([]uint32, 2*len(batch))
+	for i, c := range batch {
+		stripes[2*i] = uint32(s.shardIdx(c.About))
+		stripes[2*i+1] = uint32(s.shardIdx(c.From))
+	}
+	starts, ordered := groupByStripe(stripes, len(s.shards))
+	for st := range s.shards {
+		lo, hi := starts[st], starts[st+1]
+		if lo == hi {
+			continue
+		}
+		sh := &s.shards[st]
+		sh.mu.Lock()
+		for _, b := range ordered[lo:hi] {
+			c := batch[b/2]
+			if b%2 == 0 {
+				sh.bumpLocked(c.About, false)
+			} else {
+				sh.bumpLocked(c.From, true)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// CountsAll implements Snapshotter: the population scan takes each touched
+// shard lock once, instead of once per peer as repeated Counts calls would.
+func (s *ShardedStore) CountsAll(peers []trust.PeerID) ([]Tally, error) {
+	out := make([]Tally, len(peers))
+	stripes := make([]uint32, len(peers))
+	for i, p := range peers {
+		stripes[i] = uint32(s.shardIdx(p))
+	}
+	starts, ordered := groupByStripe(stripes, len(s.shards))
+	for st := range s.shards {
+		lo, hi := starts[st], starts[st+1]
+		if lo == hi {
+			continue
+		}
+		sh := &s.shards[st]
+		sh.mu.Lock()
+		for _, i := range ordered[lo:hi] {
+			if e := sh.m[peers[i]]; e != nil {
+				out[i] = Tally{Received: e.received, Filed: e.filed}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out, nil
 }
