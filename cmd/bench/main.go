@@ -3,15 +3,17 @@
 // sharded-runner speedup), the market engine's session throughput, the
 // allocation profile of the exchange scheduler's fast path, the
 // complaint-store contention benchmark (reputation data-plane backends under
-// concurrent File and mixed file+assess load), and the cell-sharding section
+// concurrent File and mixed file+assess load), the cell-sharding section
 // (one experiment cell split across sub-engines at growing engine-pool
-// widths, plus the FileBatch-vs-File write-path comparison). It writes a
-// JSON snapshot (BENCH_PR<n>.json by convention) so successive PRs can be
-// compared.
+// widths, plus the FileBatch-vs-File write-path comparison, pgrid's
+// routed-batch path included), and the gossip section (one sharded cell at
+// falling cross-shard sync periods: exchange traffic, remote-apply cost,
+// stale-read fraction). It writes a JSON snapshot (BENCH_PR<n>.json by
+// convention) so successive PRs can be compared.
 //
 // Usage:
 //
-//	bench [-o BENCH_PR1.json] [-seed 42] [-quick] [-reps 3] [-repstore memory,sharded]
+//	bench [-o BENCH_PR1.json] [-seed 42] [-quick] [-reps 3] [-repstore memory,sharded] [-gossip 0:ring]
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/metrics"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -35,6 +38,7 @@ import (
 	"trustcoop/internal/market"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
+	"trustcoop/internal/trust/gossip"
 )
 
 type experimentRun struct {
@@ -113,6 +117,38 @@ type cellShardingReport struct {
 	FileBatch []batchFileRun `json:"filebatch"`
 }
 
+type gossipRun struct {
+	// Period 0 is gossip off — the isolated-shard baseline every other row
+	// is compared against.
+	Period  int     `json:"period"`
+	Seconds float64 `json:"seconds"`
+	// BytesPerSession is the exchange traffic amortised over the cell's
+	// sessions (wire-size estimate of every delivered batch).
+	BytesPerSession float64 `json:"bytes_per_session"`
+	// ApplyNsPerComplaint is the cost of landing remote evidence: wall
+	// clock inside Fabric.Exchange per delivered complaint (the
+	// complaints.FileAll batched path).
+	ApplyNsPerComplaint float64 `json:"apply_ns_per_complaint"`
+	// StaleReadFraction is the share of trust reads served while a peer
+	// shard held undelivered complaints — the staleness the period buys
+	// back. Scheduling-dependent across concurrent engines (totals are
+	// not), hence a bench number, not a table column.
+	StaleReadFraction   float64 `json:"stale_read_fraction"`
+	ComplaintsDelivered int64   `json:"complaints_delivered"`
+	// ComplaintsUnscheduled is the evidence a fanout-limited mesh
+	// permanently skipped (0 for the default full mesh and for ring).
+	ComplaintsUnscheduled int64 `json:"complaints_unscheduled"`
+	Rounds                int64 `json:"rounds"`
+}
+
+type gossipReport struct {
+	Topology string      `json:"topology"`
+	Fanout   int         `json:"fanout"`
+	Shards   int         `json:"shards"`
+	Sessions int         `json:"sessions"`
+	Runs     []gossipRun `json:"runs"`
+}
+
 type report struct {
 	Generated    string             `json:"generated"`
 	GoVersion    string             `json:"go_version"`
@@ -126,6 +162,7 @@ type report struct {
 	Engine       []engineReport     `json:"engine_sessions"`
 	Stores       []storeReport      `json:"store_contention"`
 	CellSharding cellShardingReport `json:"cell_sharding"`
+	Gossip       gossipReport       `json:"gossip"`
 	Notes        string             `json:"notes"`
 }
 
@@ -144,7 +181,13 @@ func run(args []string) error {
 	reps := fs.Int("reps", 3, "timing repetitions per cell (best is kept)")
 	repstore := fs.String("repstore", "memory,sharded,async:sharded",
 		"comma-separated complaint-store specs for the contention benchmark (concurrency-safe backends only; pgrid is single-threaded by design)")
+	gossipSpec := fs.String("gossip", "0:mesh",
+		"fabric shape for the gossip benchmark section, spec PERIOD[:TOPOLOGY[:FANOUT]] (e.g. 0:mesh, 0:ring, 0:mesh:2); the section always sweeps the standard periods, and a non-zero PERIOD is added to the sweep")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gossipCfg, err := gossip.ParseSpec(*gossipSpec)
+	if err != nil {
 		return err
 	}
 
@@ -177,7 +220,20 @@ func run(args []string) error {
 			"so speedup_vs_1_engine is pure parallelism (1.0 by definition on " +
 			"single-CPU hosts); its filebatch rows compare per-complaint File " +
 			"against FileBatch chunks of batch_size on the same stream, the " +
-			"locking the batch API amortises (one lock pass per shard per batch)",
+			"locking the batch API amortises (one lock pass per shard per batch; " +
+			"the pgrid row amortises routing instead — one routed walk per " +
+			"distinct grid key per batch, on a tenth of the stream); " +
+			"gossip times one trust-aware cell sharded x4 (eval.RunCellStats) at " +
+			"cross-shard sync periods {inf,64,16,4,1}: bytes_per_session is the " +
+			"delivered exchange traffic amortised over the cell's sessions, " +
+			"apply_ns_per_complaint the cost of landing remote batches through " +
+			"the complaints.FileAll fast path, and stale_read_fraction the share " +
+			"of trust reads served before evidence scheduled for the reading " +
+			"shard had arrived (per recipient: a ring hop that already landed " +
+			"reads fresh while later hops stay stale; scheduling-dependent " +
+			"across concurrent engines, so it lives here and not in the E11 " +
+			"table); complaints_unscheduled counts deliveries a fanout-limited " +
+			"mesh permanently skipped (0 for full mesh and ring)",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -270,6 +326,12 @@ func run(args []string) error {
 	}
 	rep.CellSharding = cellShardingReport{Cells: cells, FileBatch: batches}
 
+	gr, err := benchGossip(*seed, *quick, *reps, gossipCfg)
+	if err != nil {
+		return err
+	}
+	rep.Gossip = gr
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -345,10 +407,82 @@ func benchCellSharding(seed int64, quick bool, reps int) ([]cellReport, error) {
 	return out, nil
 }
 
+// benchGossip measures the tentpole of PR 4: one trust-aware cell sharded
+// ×4 (the cell_sharding population) at gossip periods {∞, 64, 16, 4, 1},
+// recording wall clock, exchange traffic per session, the per-complaint
+// cost of landing remote batches (the complaints.FileAll fast path), and
+// the stale-read fraction the period leaves behind. The topology and
+// fanout come from the -gossip flag (default full mesh).
+func benchGossip(seed int64, quick bool, reps int, gc gossip.Config) (gossipReport, error) {
+	const shards = 4
+	sessions := 1600
+	if quick {
+		sessions = 240
+	}
+	periods := []int{0, 64, 16, 4, 1}
+	if gc.Period > 0 && !slices.Contains(periods, gc.Period) {
+		periods = append(periods, gc.Period)
+	}
+	gr := gossipReport{Topology: string(gc.Topology), Fanout: gc.Fanout, Shards: shards, Sessions: sessions}
+	if gr.Topology == "" {
+		gr.Topology = string(gossip.TopologyMesh)
+	}
+	for _, period := range periods {
+		agents, err := agent.NewPopulation(agent.PopConfig{Honest: 12, Opportunist: 6},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return gossipReport{}, err
+		}
+		cfg := market.Config{
+			Seed:     seed,
+			Sessions: sessions,
+			Agents:   agents,
+			Strategy: market.StrategyTrustAware,
+			RepStore: "sharded",
+			Gossip:   gossip.Config{Period: period, Topology: gc.Topology, Fanout: gc.Fanout},
+		}
+		best := time.Duration(0)
+		var stats gossip.Stats
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			_, st, err := eval.RunCellStats(cfg, shards, 0)
+			if err != nil {
+				return gossipReport{}, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+				stats = st
+			}
+		}
+		run := gossipRun{
+			Period:                period,
+			Seconds:               best.Seconds(),
+			BytesPerSession:       float64(stats.BytesDelivered) / float64(sessions),
+			ComplaintsDelivered:   stats.ComplaintsDelivered,
+			ComplaintsUnscheduled: stats.ComplaintsUnscheduled,
+			Rounds:                stats.Rounds,
+		}
+		if stats.ComplaintsDelivered > 0 {
+			run.ApplyNsPerComplaint = float64(stats.ApplyNs) / float64(stats.ComplaintsDelivered)
+		}
+		if stats.Reads > 0 {
+			run.StaleReadFraction = float64(stats.StaleReads) / float64(stats.Reads)
+		}
+		gr.Runs = append(gr.Runs, run)
+		fmt.Fprintf(os.Stderr, "gossip period=%d: %.3fs, %.1f B/session, %.0f ns/applied complaint, stale reads %.2f\n",
+			period, run.Seconds, run.BytesPerSession, run.ApplyNsPerComplaint, run.StaleReadFraction)
+	}
+	return gr, nil
+}
+
 // benchFileBatch compares the batched write path against per-complaint File
-// on each concurrency-safe backend: the same complaint stream filed one at a
-// time versus in FileBatch chunks (the async drain's shape). The ratio is
-// the per-complaint locking overhead the batch API amortises away.
+// on each centralised backend plus the decentralised pgrid store (its
+// FileBatch routes once per distinct grid key per batch instead of twice per
+// complaint — PR 4): the same complaint stream filed one at a time versus in
+// FileBatch chunks (the async drain's shape). The ratio is the per-complaint
+// locking (or routing) overhead the batch API amortises away. The pgrid rows
+// run a tenth of the stream — every operation pays O(log N) routing and a
+// replica-group write, so the full stream would dominate the whole bench.
 func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
 	const batchSize = 64
 	ops := 200_000
@@ -361,30 +495,34 @@ func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
 		stream[i] = complaints.Complaint{From: ids[(i*7)%len(ids)], About: ids[(i*13+3)%len(ids)]}
 	}
 	var out []batchFileRun
-	for _, spec := range []string{"memory", "sharded", "async:sharded"} {
+	for _, spec := range []string{"memory", "sharded", "async:sharded", "pgrid"} {
+		specOps := ops
+		if spec == "pgrid" {
+			specOps = ops / 10
+		}
 		run := batchFileRun{Backend: spec, BatchSize: batchSize}
 		for _, batched := range []bool{false, true} {
 			best := time.Duration(0)
 			for r := 0; r < reps; r++ {
 				// Deterministic async mode: both paths pay the drain inline,
 				// so the comparison isolates locking, not goroutine handoff.
-				store, err := complaints.Open(spec, complaints.BackendConfig{BatchSize: batchSize})
+				store, err := complaints.Open(spec, complaints.BackendConfig{BatchSize: batchSize, Seed: 11})
 				if err != nil {
 					return nil, err
 				}
 				start := time.Now()
 				if batched {
-					for lo := 0; lo < len(stream); lo += batchSize {
+					for lo := 0; lo < specOps; lo += batchSize {
 						hi := lo + batchSize
-						if hi > len(stream) {
-							hi = len(stream)
+						if hi > specOps {
+							hi = specOps
 						}
 						if err := complaints.FileAll(store, stream[lo:hi]); err != nil {
 							return nil, err
 						}
 					}
 				} else {
-					for _, c := range stream {
+					for _, c := range stream[:specOps] {
 						if err := store.File(c); err != nil {
 							return nil, err
 						}
@@ -403,7 +541,7 @@ func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
 					best = d
 				}
 			}
-			nsPerOp := float64(best.Nanoseconds()) / float64(ops)
+			nsPerOp := float64(best.Nanoseconds()) / float64(specOps)
 			if batched {
 				run.BatchNsPerOp = nsPerOp
 			} else {

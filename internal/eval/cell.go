@@ -2,8 +2,10 @@ package eval
 
 import (
 	"fmt"
+	"strings"
 
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust/gossip"
 )
 
 // DefaultCellShards is the sub-engine count a sharded experiment cell
@@ -31,7 +33,7 @@ const DefaultCellShards = 4
 // Result — and any table rendered from it — is byte-identical for every
 // engines value. That is the knob RunConfig.EnginesPerCell (cmd/evalrun
 // -engines) turns, and the determinism harness enforces the invariant for
-// engines ∈ {1, 2, 4} across E1–E10.
+// engines ∈ {1, 2, 4} across E1–E11 — with and without gossip.
 //
 // shards <= 1 runs the cell on a single engine, exactly as an unsharded
 // experiment would. engines <= 0 means min(DefaultWorkers(), shards).
@@ -39,15 +41,31 @@ const DefaultCellShards = 4
 // run (agents are read-only to the engine; behaviours and policies are
 // stateless).
 func RunCell(cfg market.Config, shards, engines int) (market.Result, error) {
+	res, _, err := RunCellStats(cfg, shards, engines)
+	return res, err
+}
+
+// RunCellStats is RunCell plus the cell's gossip accounting: the zero
+// gossip.Stats when the cell ran without gossip (shards <= 1 or
+// cfg.Gossip.Period == 0), the exchange fabric's snapshot otherwise. E11 and
+// the bench gossip section consume the stats; everything else calls RunCell.
+func RunCellStats(cfg market.Config, shards, engines int) (market.Result, gossip.Stats, error) {
 	if shards <= 1 {
+		if cfg.Gossip.Enabled() {
+			// Silently dropping the config would leave a table whose title
+			// claims gossip ran; mislabeling the information structure is
+			// exactly what the caveat machinery exists to prevent.
+			return market.Result{}, gossip.Stats{}, fmt.Errorf("eval: gossip (%s) configured on an unsharded cell — there are no peer shards to exchange with", cfg.Gossip)
+		}
 		eng, err := market.NewEngine(cfg)
 		if err != nil {
-			return market.Result{}, err
+			return market.Result{}, gossip.Stats{}, err
 		}
-		return eng.Run()
+		res, err := eng.Run()
+		return res, gossip.Stats{}, err
 	}
 	if cfg.Sessions < shards {
-		return market.Result{}, fmt.Errorf("eval: cell has %d sessions, cannot shard across %d engines", cfg.Sessions, shards)
+		return market.Result{}, gossip.Stats{}, fmt.Errorf("eval: cell has %d sessions, cannot shard across %d engines", cfg.Sessions, shards)
 	}
 	if engines <= 0 {
 		engines = min(DefaultWorkers(), shards)
@@ -57,7 +75,7 @@ func RunCell(cfg market.Config, shards, engines int) (market.Result, error) {
 		engines = shards
 	}
 	base, rem := cfg.Sessions/shards, cfg.Sessions%shards
-	results, err := RunTrials(engines, shards, func(k int) (market.Result, error) {
+	subConfig := func(k int) market.Config {
 		sub := cfg
 		sub.Seed = DeriveSeed(cfg.Seed, k)
 		sub.Sessions = base
@@ -68,28 +86,154 @@ func RunCell(cfg market.Config, shards, engines int) (market.Result, error) {
 			// Decorrelate explicitly-seeded backends across shards too.
 			sub.RepStoreConfig.Seed = DeriveSeed(sub.RepStoreConfig.Seed, k)
 		}
-		eng, err := market.NewEngine(sub)
+		return sub
+	}
+	if cfg.Gossip.Enabled() {
+		return runCellGossip(cfg, shards, engines, subConfig)
+	}
+	results, err := RunTrials(engines, shards, func(k int) (market.Result, error) {
+		eng, err := market.NewEngine(subConfig(k))
 		if err != nil {
 			return market.Result{}, err
 		}
 		return eng.Run()
 	})
 	if err != nil {
-		return market.Result{}, err
+		return market.Result{}, gossip.Stats{}, err
 	}
 	var merged market.Result
 	for _, res := range results {
 		merged.Merge(res)
 	}
-	return merged, nil
+	return merged, gossip.Stats{}, nil
 }
 
-// shardedTitle annotates a table title with the cell decomposition, per the
-// ROADMAP caveat that any change to the information structure must be
-// visible in the table itself.
-func shardedTitle(title string, shards int) string {
-	if shards <= 1 {
+// runCellGossip executes a sharded cell with cross-shard evidence gossip:
+// the sub-engines run in lockstep windows of cfg.Gossip.Period sessions, and
+// between windows the cell's exchange fabric ships the complaints each shard
+// filed to its peers — over a schedule seeded with DeriveSeed(cfg.Seed,
+// shards), so the gossip stream is decorrelated from every sub-engine's
+// session streams (which use indices 0..shards-1).
+//
+// The lockstep structure is what preserves the EnginesPerCell invariant
+// under gossip: each window's work depends only on the state before the
+// window (engines never interact mid-window), RunTrials reduces
+// deterministically for any worker count, and the exchange itself runs on
+// the coordinating goroutine in shard order — so the merged Result is
+// byte-identical however many engines run concurrently. A final
+// Fabric.Drain after the last window delivers any evidence still in flight
+// (ring relays) before the shards settle, so post-run assessment sees
+// everything the schedule delivers — under a fanout-limited mesh that is
+// deliberately less than everything filed (gossip.Stats.ComplaintsUnscheduled
+// counts the difference).
+func runCellGossip(cfg market.Config, shards, engines int, subConfig func(int) market.Config) (market.Result, gossip.Stats, error) {
+	if cfg.RepStore == "" {
+		return market.Result{}, gossip.Stats{}, fmt.Errorf("eval: gossip (%s) needs a RepStore backend to exchange complaint evidence", cfg.Gossip)
+	}
+	fabric, err := gossip.NewFabric(cfg.Gossip, DeriveSeed(cfg.Seed, shards), shards)
+	if err != nil {
+		return market.Result{}, gossip.Stats{}, err
+	}
+	subs := make([]*market.Engine, shards)
+	remaining := make([]int, shards)
+	for k := range subs {
+		sub := subConfig(k)
+		sub.GossipNode = fabric.Node(k)
+		eng, err := market.NewEngine(sub)
+		if err != nil {
+			return market.Result{}, gossip.Stats{}, err
+		}
+		subs[k] = eng
+		remaining[k] = sub.Sessions
+	}
+	window := make([]int, shards)
+	for {
+		ran := false
+		for k, rem := range remaining {
+			window[k] = min(cfg.Gossip.Period, rem)
+			if window[k] > 0 {
+				ran = true
+			}
+		}
+		if !ran {
+			break
+		}
+		if _, err := RunTrials(engines, shards, func(k int) (struct{}, error) {
+			if window[k] == 0 {
+				return struct{}{}, nil
+			}
+			return struct{}{}, subs[k].RunWindow(window[k])
+		}); err != nil {
+			return market.Result{}, gossip.Stats{}, err
+		}
+		for k := range remaining {
+			remaining[k] -= window[k]
+		}
+		if err := fabric.Exchange(); err != nil {
+			return market.Result{}, gossip.Stats{}, err
+		}
+	}
+	if err := fabric.Drain(); err != nil {
+		return market.Result{}, gossip.Stats{}, err
+	}
+	results, err := RunTrials(engines, shards, func(k int) (market.Result, error) {
+		return subs[k].FinishRun()
+	})
+	if err != nil {
+		return market.Result{}, gossip.Stats{}, err
+	}
+	var merged market.Result
+	for _, res := range results {
+		merged.Merge(res)
+	}
+	return merged, fabric.Stats(), nil
+}
+
+// cellCaveats collects the information-structure changes a cell runs under,
+// per the ROADMAP caveat that every one of them must be visible in the table
+// itself: the fixed shard decomposition, cross-shard gossip, and a
+// write-behind (async) evidence backend. annotate composes whichever apply
+// into one title suffix, so combined caveats read as one parenthetical
+// instead of nested or duplicated ones.
+type cellCaveats struct {
+	// Shards is the cell decomposition; <= 1 adds nothing.
+	Shards int
+	// Gossip is the cell's evidence exchange; the zero value adds nothing.
+	Gossip gossip.Config
+	// RepStore is the complaint backend spec; only write-behind specs
+	// (containing "async") add a caveat — exact backends don't change the
+	// information structure.
+	RepStore string
+}
+
+// annotate appends the applicable caveats to a table title.
+func (c cellCaveats) annotate(title string) string {
+	var parts []string
+	if c.Shards > 1 {
+		parts = append(parts, fmt.Sprintf("cells sharded ×%d: trust learned per shard", c.Shards))
+	}
+	if c.Gossip.Enabled() {
+		parts = append(parts, fmt.Sprintf("complaint gossip %s", c.Gossip))
+	}
+	if strings.Contains(c.RepStore, "async") {
+		parts = append(parts, fmt.Sprintf("async evidence via %s", c.RepStore))
+	}
+	if len(parts) == 0 {
 		return title
 	}
-	return fmt.Sprintf("%s (cells sharded ×%d: trust learned per shard)", title, shards)
+	return fmt.Sprintf("%s (%s)", title, strings.Join(parts, "; "))
+}
+
+// gossipRepStore resolves the complaint backend a gossiping cell runs over:
+// "" while gossip is off (the cell keeps its pre-gossip trust wiring), the
+// configured spec or the "sharded" default while it is on. E2/E3/E6 share
+// this policy from their withDefaults.
+func gossipRepStore(gc gossip.Config, repStore string) string {
+	if !gc.Enabled() {
+		return ""
+	}
+	if repStore == "" {
+		return "sharded"
+	}
+	return repStore
 }

@@ -7,6 +7,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust/gossip"
 )
 
 func cellAgents(t *testing.T) []*agent.Agent {
@@ -111,6 +112,115 @@ func TestRunCellShardsDrawIndependentStreams(t *testing.T) {
 func TestRunCellRejectsOverSharding(t *testing.T) {
 	if _, err := RunCell(cellConfig(t, 3), 4, 2); err == nil {
 		t.Error("sharding 3 sessions across 4 engines accepted")
+	}
+}
+
+// TestRunCellGossipEngineCountInvariant extends the tentpole determinism
+// contract to gossiping cells: the lockstep windows make each sub-engine's
+// work between sync points self-contained and the exchange itself runs on
+// the coordinating goroutine, so the merged result is identical however many
+// engines run concurrently — for both topologies.
+func TestRunCellGossipEngineCountInvariant(t *testing.T) {
+	for _, gc := range []gossip.Config{
+		{Period: 3},
+		{Period: 5, Fanout: 1},
+		{Period: 2, Topology: gossip.TopologyRing},
+	} {
+		cfg := cellConfig(t, 101)
+		cfg.Strategy = market.StrategyTrustAware
+		cfg.RepStore = "sharded"
+		cfg.Gossip = gc
+		base, err := RunCell(cfg, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, engines := range []int{2, 3, 4, 16} {
+			cfg := cellConfig(t, 101)
+			cfg.Strategy = market.StrategyTrustAware
+			cfg.RepStore = "sharded"
+			cfg.Gossip = gc
+			got, err := RunCell(cfg, 4, engines)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Completed != base.Completed || got.Defected != base.Defected ||
+				got.Welfare != base.Welfare || got.TradeVolume != base.TradeVolume ||
+				got.NetStats != base.NetStats ||
+				got.ConsumerExposure != base.ConsumerExposure ||
+				got.RealizedConsumerLoss != base.RealizedConsumerLoss {
+				t.Errorf("gossip %s, engines=%d: %+v != engines=1 %+v", gc, engines, got, base)
+			}
+		}
+	}
+}
+
+// TestRunCellGossipChangesOutcomes: gossip is an information-structure
+// change, so a gossiping cell must not reproduce the isolated-shard cell
+// bit for bit — otherwise the exchange delivered nothing that mattered.
+func TestRunCellGossipChangesOutcomes(t *testing.T) {
+	run := func(gc gossip.Config) market.Result {
+		cfg := cellConfig(t, 160)
+		cfg.Strategy = market.StrategyTrustAware
+		cfg.RepStore = "sharded"
+		cfg.Gossip = gc
+		res, err := RunCell(cfg, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	isolated, gossiped := run(gossip.Config{}), run(gossip.Config{Period: 1})
+	if isolated.Welfare == gossiped.Welfare && isolated.Completed == gossiped.Completed &&
+		isolated.ConsumerExposure == gossiped.ConsumerExposure {
+		t.Error("period-1 gossip left the cell bit-identical to isolated shards; no evidence was exchanged")
+	}
+}
+
+// TestRunCellGossipStats: the fabric accounting must reflect real exchange
+// traffic and full delivery (mesh: every complaint reaches the 3 peer
+// shards).
+func TestRunCellGossipStats(t *testing.T) {
+	cfg := cellConfig(t, 120)
+	cfg.Strategy = market.StrategyTrustAware
+	cfg.RepStore = "sharded"
+	cfg.Gossip = gossip.Config{Period: 4}
+	res, stats, err := RunCellStats(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Defected == 0 {
+		t.Fatal("no defections; the cell filed no complaints to gossip")
+	}
+	if stats.ComplaintsDelivered == 0 || stats.BytesDelivered == 0 || stats.Rounds == 0 {
+		t.Errorf("gossip ran but accounting is empty: %+v", stats)
+	}
+	if stats.ComplaintsDelivered%3 != 0 {
+		t.Errorf("mesh over 4 shards must deliver each complaint to exactly 3 peers; delivered %d", stats.ComplaintsDelivered)
+	}
+	if stats.Reads == 0 {
+		t.Errorf("trust-aware cell did not read through the gossip nodes: %+v", stats)
+	}
+}
+
+// TestRunCellGossipRequiresRepStore: gossip exchanges complaint evidence, so
+// a cell without a complaint backend must be rejected loudly.
+func TestRunCellGossipRequiresRepStore(t *testing.T) {
+	cfg := cellConfig(t, 60)
+	cfg.Gossip = gossip.Config{Period: 4}
+	if _, err := RunCell(cfg, 4, 2); err == nil {
+		t.Error("gossip without RepStore accepted")
+	}
+}
+
+// TestRunCellGossipRejectsUnshardedCell: gossip on a single-engine cell has
+// no peers to exchange with; silently ignoring it would mislabel the table
+// (the title claims gossip ran), so it must be rejected.
+func TestRunCellGossipRejectsUnshardedCell(t *testing.T) {
+	cfg := cellConfig(t, 60)
+	cfg.RepStore = "sharded"
+	cfg.Gossip = gossip.Config{Period: 4}
+	if _, err := RunCell(cfg, 1, 1); err == nil {
+		t.Error("gossip on an unsharded cell accepted")
 	}
 }
 

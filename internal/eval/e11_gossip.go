@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/market"
+	"trustcoop/internal/trust/gossip"
+)
+
+// E11Config parameterises the gossip-period ablation.
+type E11Config struct {
+	Seed       int64
+	Sessions   int // marketplace sessions per cell; 0 means 400
+	Population int // agents; 0 means 18
+	Cheaters   int // cheating agents; 0 means Population/3
+	// Periods is the sync-period sweep; a 0 entry means ∞ (gossip off,
+	// isolated shards — exactly the PR 3 information structure). nil means
+	// DefaultE11Periods.
+	Periods []int
+	// Trials replicates every cell (and the baseline) over seed-derived
+	// marketplaces and reports per-row means; 0 means 3. Honest-loss noise
+	// between independent stream draws is comparable to the gossip effect
+	// itself, so the single-draw gap column would be noise-dominated —
+	// replication is what makes "the gap shrinks with the period" visible.
+	Trials int
+	// Topology and Fanout shape the exchange fabric of every gossiping
+	// cell; zero values mean full mesh.
+	Topology gossip.Topology
+	Fanout   int
+	// CellShards is the fixed cell decomposition; 0 means DefaultCellShards.
+	CellShards int
+	// RepStore is the per-shard complaint backend; "" means "sharded".
+	RepStore string
+	// Workers is the trial worker pool; 0 means DefaultWorkers().
+	Workers int
+	// EnginesPerCell bounds concurrent sub-engines per cell; pure
+	// parallelism, never changes the table.
+	EnginesPerCell int
+}
+
+// DefaultE11Periods is the sweep of the ablation: from isolated shards
+// (∞, spelled 0) through coarse and fine gossip down to per-session sync.
+func DefaultE11Periods() []int { return []int{0, 64, 16, 4, 1} }
+
+func (c E11Config) withDefaults() E11Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 400
+	}
+	if c.Population <= 0 {
+		c.Population = 18
+	}
+	if c.Cheaters <= 0 {
+		c.Cheaters = c.Population / 3
+	}
+	if len(c.Periods) == 0 {
+		c.Periods = DefaultE11Periods()
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.CellShards == 0 {
+		c.CellShards = DefaultCellShards
+	}
+	if c.RepStore == "" {
+		c.RepStore = "sharded"
+	}
+	return c
+}
+
+// e11Cell is one period's measured outcome.
+type e11Cell struct {
+	res   market.Result
+	stats gossip.Stats
+}
+
+// E11GossipPeriod sweeps the cross-shard gossip period of a sharded
+// trust-aware cell: the same marketplace decomposition (same seed, same
+// population, same per-shard session streams) where only how often the
+// shards exchange complaint evidence varies. Period ∞ is PR 3's isolated
+// shards — each sub-engine learns trust exclusively from its own sessions —
+// and the sweep interpolates towards the single-engine information
+// structure, which runs as the baseline row. The table reports the
+// cooperation outcomes, the honest-victim loss (the cost of trusting
+// cheaters on missing evidence — false trust), the gap of that loss to the
+// single-engine baseline, and the gossip traffic that bought the
+// improvement. Decreasing the period monotonically shrinks the gap: cheap
+// second-hand monitoring substitutes for first-hand experience, exactly the
+// trust-as-reduced-monitoring reading of the paper's reputation mechanism.
+func E11GossipPeriod(cfg E11Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	gc := func(period int) gossip.Config {
+		return gossip.Config{Period: period, Topology: cfg.Topology, Fanout: cfg.Fanout}
+	}
+	tbl := &Table{
+		ID: "E11",
+		Title: cellCaveats{Shards: cfg.CellShards, RepStore: cfg.RepStore}.annotate(
+			fmt.Sprintf("gossip-period ablation: cross-shard complaint exchange over %s (period ∞ = isolated shards)", fabricShape(cfg.Topology, cfg.Fanout))),
+		Cols: []string{"period", "trade rate", "completion", "welfare", "honest loss", "loss gap vs 1 engine", "evidence gossiped", "sync rounds"},
+	}
+	// Each table row averages Trials replicated marketplaces; the cells are
+	// laid out trial-major (trial t's baseline, then its period sweep), each
+	// drawing its streams from DeriveSeed(Seed, trial) so every replicate is
+	// an independent marketplace while all rows of one trial share streams
+	// (within a trial, the gossip schedule is the only varying factor).
+	perTrial := len(cfg.Periods) + 1
+	results, err := RunTrials(cfg.Workers, cfg.Trials*perTrial, func(ci int) (e11Cell, error) {
+		trial, slot := ci/perTrial, ci%perTrial
+		tcfg := cfg
+		tcfg.Seed = DeriveSeed(cfg.Seed, trial)
+		if slot == 0 {
+			return runE11Cell(tcfg, gossip.Config{}, 1)
+		}
+		return runE11Cell(tcfg, gc(cfg.Periods[slot-1]), cfg.CellShards)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// mean folds one slot's replicates.
+	mean := func(slot int, f func(e11Cell) float64) float64 {
+		var sum float64
+		for t := 0; t < cfg.Trials; t++ {
+			sum += f(results[t*perTrial+slot])
+		}
+		return sum / float64(cfg.Trials)
+	}
+	loss := func(c e11Cell) float64 { return c.res.HonestVictimLoss.Float64() }
+	baseLoss := mean(0, loss)
+	addRow := func(label string, slot int, gossiped string) {
+		gap := "-"
+		if slot != 0 {
+			// Signed, not |·|: overshooting below the baseline must read as
+			// negative, not fold back and fake a growing gap.
+			gap = f1(mean(slot, loss) - baseLoss)
+		}
+		rounds := "-"
+		if r := mean(slot, func(c e11Cell) float64 { return float64(c.stats.Rounds) }); r > 0 {
+			rounds = itoa(int(r))
+		}
+		tbl.AddRow(
+			label,
+			pct(mean(slot, func(c e11Cell) float64 { return c.res.TradeRate() })),
+			pct(mean(slot, func(c e11Cell) float64 { return c.res.CompletionRate() })),
+			f1(mean(slot, func(c e11Cell) float64 { return c.res.Welfare.Float64() })),
+			f1(mean(slot, loss)),
+			gap,
+			gossiped,
+			rounds,
+		)
+	}
+	for pi, period := range cfg.Periods {
+		slot := pi + 1
+		label := itoa(period)
+		gossiped := fmt.Sprintf("%.0f (%s)",
+			mean(slot, func(c e11Cell) float64 { return float64(c.stats.ComplaintsDelivered) }),
+			fmtBytes(int64(mean(slot, func(c e11Cell) float64 { return float64(c.stats.BytesDelivered) }))))
+		if period == 0 {
+			label, gossiped = "∞", "-"
+		}
+		addRow(label, slot, gossiped)
+	}
+	addRow("single engine", 0, "-")
+	return tbl, nil
+}
+
+// runE11Cell runs one marketplace cell of the ablation. Every cell shares
+// the population and the cell seed, so the only varying factor across the
+// period rows is the gossip schedule; the shards=1 call is the single-engine
+// baseline.
+func runE11Cell(cfg E11Config, gc gossip.Config, shards int) (e11Cell, error) {
+	pop := agent.PopConfig{
+		Honest:      cfg.Population - cfg.Cheaters,
+		Opportunist: cfg.Cheaters / 2,
+		Backstabber: cfg.Cheaters - cfg.Cheaters/2,
+		Stake:       0, // cooperation must come from trust-aware exposure caps
+	}
+	agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return e11Cell{}, err
+	}
+	res, stats, err := RunCellStats(market.Config{
+		Seed:     DeriveSeed(cfg.Seed, 1),
+		Sessions: cfg.Sessions,
+		Agents:   agents,
+		Strategy: market.StrategyTrustAware,
+		RepStore: cfg.RepStore,
+		Gossip:   gc,
+	}, shards, cfg.EnginesPerCell)
+	if err != nil {
+		return e11Cell{}, fmt.Errorf("gossip %s: %w", gc, err)
+	}
+	return e11Cell{res: res, stats: stats}, nil
+}
+
+// fabricShape renders the fabric shape for the table title — topology plus
+// the fanout cap, which is an information-structure change of its own
+// (fanout-limited meshes permanently skip peers) and so must be visible.
+func fabricShape(t gossip.Topology, fanout int) string {
+	if t == "" {
+		t = gossip.TopologyMesh
+	}
+	if t == gossip.TopologyMesh && fanout > 0 {
+		return fmt.Sprintf("%s fanout %d", t, fanout)
+	}
+	return string(t)
+}
+
+// fmtBytes renders a byte count compactly for table cells.
+func fmtBytes(b int64) string {
+	if b >= 10*1024 {
+		return fmt.Sprintf("%.0fKiB", float64(b)/1024)
+	}
+	return fmt.Sprintf("%dB", b)
+}

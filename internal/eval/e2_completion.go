@@ -6,6 +6,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust/gossip"
 )
 
 // E2Config parameterises the strategy-comparison experiment.
@@ -26,6 +27,15 @@ type E2Config struct {
 	// EnginesPerCell bounds how many sub-engines of one cell run at once;
 	// pure parallelism, never changes the table.
 	EnginesPerCell int
+	// Gossip enables cross-shard complaint gossip between a cell's
+	// sub-engines — part of the experiment definition (it changes the
+	// information structure), annotated in the title. When enabled the
+	// cells learn trust from the shared complaint model over RepStore.
+	Gossip gossip.Config
+	// RepStore is the complaint backend the gossiping cells run over; ""
+	// means "sharded". Ignored while Gossip is off (cells keep their
+	// private Beta estimators, the pre-gossip behaviour).
+	RepStore string
 }
 
 func (c E2Config) withDefaults() E2Config {
@@ -35,6 +45,7 @@ func (c E2Config) withDefaults() E2Config {
 	if c.CellShards == 0 {
 		c.CellShards = DefaultCellShards
 	}
+	c.RepStore = gossipRepStore(c.Gossip, c.RepStore)
 	if c.Population <= 0 {
 		c.Population = 24
 	}
@@ -58,7 +69,7 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E2",
-		Title: shardedTitle("strategy comparison: trade rate, completion, welfare, honest losses", cfg.CellShards),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, RepStore: cfg.RepStore}.annotate("strategy comparison: trade rate, completion, welfare, honest losses"),
 		Cols:  []string{"cheaters", "strategy", "trade rate", "completion", "welfare", "honest loss", "safe plans"},
 	}
 	type cell struct {
@@ -92,6 +103,8 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 			Agents:      agents,
 			Strategy:    c.strat,
 			Concurrency: cfg.Concurrency,
+			RepStore:    cfg.RepStore,
+			Gossip:      cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/market"
 	"trustcoop/internal/stats"
+	"trustcoop/internal/trust/gossip"
 )
 
 // E3Config parameterises the loss-bounding experiment.
@@ -21,6 +22,13 @@ type E3Config struct {
 	// EnginesPerCell bounds how many sub-engines of one cell run at once;
 	// pure parallelism, never changes the table.
 	EnginesPerCell int
+	// Gossip enables cross-shard complaint gossip (see E2Config.Gossip);
+	// the exposure bound is a per-session property, so it must survive any
+	// gossip schedule.
+	Gossip gossip.Config
+	// RepStore is the complaint backend for gossiping cells; "" means
+	// "sharded". Ignored while Gossip is off.
+	RepStore string
 }
 
 func (c E3Config) withDefaults() E3Config {
@@ -30,6 +38,7 @@ func (c E3Config) withDefaults() E3Config {
 	if c.CellShards == 0 {
 		c.CellShards = DefaultCellShards
 	}
+	c.RepStore = gossipRepStore(c.Gossip, c.RepStore)
 	if c.Population <= 0 {
 		c.Population = 20
 	}
@@ -53,7 +62,7 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E3",
-		Title: shardedTitle("planned exposure bounds realised losses (trust-aware strategy)", cfg.CellShards),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, RepStore: cfg.RepStore}.annotate("planned exposure bounds realised losses (trust-aware strategy)"),
 		Cols: []string{"cheaters", "side", "planned mean", "planned max",
 			"realised mean", "realised max", "violations"},
 	}
@@ -74,6 +83,8 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 			Sessions: cfg.Sessions,
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
+			RepStore: cfg.RepStore,
+			Gossip:   cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})
 	if err != nil {

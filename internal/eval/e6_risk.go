@@ -7,6 +7,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/decision"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust/gossip"
 )
 
 // E6Config parameterises the risk-averseness sweep.
@@ -22,6 +23,11 @@ type E6Config struct {
 	// EnginesPerCell bounds how many sub-engines of one cell run at once;
 	// pure parallelism, never changes the table.
 	EnginesPerCell int
+	// Gossip enables cross-shard complaint gossip (see E2Config.Gossip).
+	Gossip gossip.Config
+	// RepStore is the complaint backend for gossiping cells; "" means
+	// "sharded". Ignored while Gossip is off.
+	RepStore string
 }
 
 func (c E6Config) withDefaults() E6Config {
@@ -31,6 +37,7 @@ func (c E6Config) withDefaults() E6Config {
 	if c.CellShards == 0 {
 		c.CellShards = DefaultCellShards
 	}
+	c.RepStore = gossipRepStore(c.Gossip, c.RepStore)
 	if c.Population <= 0 {
 		c.Population = 18
 	}
@@ -51,7 +58,7 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E6",
-		Title: shardedTitle("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary", cfg.CellShards),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, RepStore: cfg.RepStore}.annotate("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary"),
 		Cols:  []string{"policy", "trade rate", "completion", "welfare", "honest loss", "max loss"},
 	}
 	results, err := RunTrials(cfg.Workers, len(cfg.Alphas), func(ci int) (market.Result, error) {
@@ -78,6 +85,8 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 			Sessions: cfg.Sessions,
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
+			RepStore: cfg.RepStore,
+			Gossip:   cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"trustcoop/internal/trust/gossip"
 )
 
 // Runner regenerates one experiment.
@@ -14,7 +16,22 @@ type Runner func(rc RunConfig) (*Table, error)
 // trial counts for smoke tests and benchmarks; RunConfig.Workers bounds the
 // trial worker pool and RunConfig.EnginesPerCell the per-cell sub-engine
 // pool (tables are identical for every worker and engine count).
+// RunConfig.Gossip turns on cross-shard complaint gossip for the
+// sharded-cell experiments (E2, E3, E6; topology/fanout for E11's sweep) —
+// an information-structure change, reflected in their table titles.
 func All() map[string]Runner {
+	// withGossip parses RunConfig.Gossip once for the gossip-aware
+	// experiments; Run additionally rejects a malformed spec for every id,
+	// so a typo fails fast even when only gossip-blind experiments run.
+	withGossip := func(build func(gc gossip.Config, rc RunConfig) (*Table, error)) Runner {
+		return func(rc RunConfig) (*Table, error) {
+			gc, err := rc.gossipCfg()
+			if err != nil {
+				return nil, err
+			}
+			return build(gc, rc)
+		}
+	}
 	return map[string]Runner{
 		"E1": func(rc RunConfig) (*Table, error) {
 			cfg := E1Config{Seed: rc.Seed, Workers: rc.workers()}
@@ -24,24 +41,24 @@ func All() map[string]Runner {
 			}
 			return E1SafeExistence(cfg)
 		},
-		"E2": func(rc RunConfig) (*Table, error) {
-			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell}
+		"E2": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
+			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
 				cfg.CheaterPct = []float64{0, 0.4}
 			}
 			return E2CompletionWelfare(cfg)
-		},
-		"E3": func(rc RunConfig) (*Table, error) {
-			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell}
+		}),
+		"E3": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
+			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
 				cfg.CheaterPct = []float64{0.4}
 			}
 			return E3LossExposure(cfg)
-		},
+		}),
 		"E4": func(rc RunConfig) (*Table, error) {
 			cfg := E4Config{Seed: rc.Seed, Workers: rc.workers()}
 			if rc.Quick {
@@ -60,15 +77,15 @@ func All() map[string]Runner {
 			}
 			return E5Complexity(cfg)
 		},
-		"E6": func(rc RunConfig) (*Table, error) {
-			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell}
+		"E6": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
+			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 9
 				cfg.Alphas = []float64{0, 0.2}
 			}
 			return E6RiskAversion(cfg)
-		},
+		}),
 		"E7": func(rc RunConfig) (*Table, error) {
 			cfg := E7Config{Seed: rc.Seed, Workers: rc.workers()}
 			if rc.Quick {
@@ -106,6 +123,16 @@ func All() map[string]Runner {
 			}
 			return E10BackendAblation(cfg)
 		},
+		"E11": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
+			cfg := E11Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell,
+				Topology: gc.Topology, Fanout: gc.Fanout}
+			if rc.Quick {
+				cfg.Sessions = 80
+				cfg.Population = 9
+				cfg.Periods = []int{0, 8, 2}
+			}
+			return E11GossipPeriod(cfg)
+		}),
 	}
 }
 
@@ -127,11 +154,16 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. A malformed RunConfig.Gossip spec is
+// rejected for every id — including the gossip-blind experiments — so a
+// typo'd -gossip flag fails fast instead of being silently ignored.
 func Run(id string, rc RunConfig) (*Table, error) {
 	r, ok := All()[id]
 	if !ok {
 		return nil, fmt.Errorf("eval: unknown experiment %q (have %v)", id, IDs())
+	}
+	if _, err := rc.gossipCfg(); err != nil {
+		return nil, err
 	}
 	return r(rc)
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"trustcoop/internal/seedmix"
+	"trustcoop/internal/trust/gossip"
 )
 
 // RunConfig parameterises one experiment regeneration.
@@ -30,6 +31,19 @@ type RunConfig struct {
 	// comma-separated list of complaint-store specs (e.g.
 	// "sharded,async:sharded"); empty runs the default portfolio.
 	RepStore string
+	// Gossip enables cross-shard complaint gossip on the sharded-cell
+	// experiments (E2, E3, E6), spec "PERIOD[:TOPOLOGY[:FANOUT]]" (e.g.
+	// "16", "16:ring", "4:mesh:2"); for E11 only the topology and fanout
+	// apply (the period is the sweep axis). Gossip is part of the
+	// experiment definition — enabling it changes the information
+	// structure and the affected table titles say so. Empty (or "off")
+	// keeps shards isolated.
+	Gossip string
+}
+
+// gossipCfg parses the Gossip spec; the zero Config when unset.
+func (rc RunConfig) gossipCfg() (gossip.Config, error) {
+	return gossip.ParseSpec(rc.Gossip)
 }
 
 // repStores splits the RepStore list; nil when unset.

@@ -124,6 +124,32 @@ func TestTablesIdenticalAcrossEnginesPerCell(t *testing.T) {
 	}
 }
 
+// TestTablesIdenticalAcrossEnginesPerCellWithGossip repeats the cell-sharding
+// determinism guarantee with cross-shard gossip switched on: the lockstep
+// exchange runs on the coordinating goroutine between windows, so even a
+// gossiping cell's table — E11's sweep and the gossip-enabled E2/E3/E6
+// included — is byte-identical for every EnginesPerCell. E5 is exempt as
+// always (it measures wall-clock time).
+func TestTablesIdenticalAcrossEnginesPerCellWithGossip(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "E5" {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rc := func(engines int) RunConfig {
+				return RunConfig{Seed: 19, Quick: true, EnginesPerCell: engines, Gossip: "4:mesh"}
+			}
+			testutil.ByteIdentical(t,
+				tableVariant("engines=1", id, rc(1)),
+				tableVariant("engines=2", id, rc(2)),
+				tableVariant("engines=4", id, rc(4)),
+			)
+		})
+	}
+}
+
 func BenchmarkRunTrialsOverhead(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

@@ -1,6 +1,6 @@
 // Package eval implements the evaluation suite: the paper (a 2-page short
 // paper) has no quantitative evaluation of its own, so each claim in the
-// text is turned into a measurable experiment (E1–E10, see EXPERIMENTS.md).
+// text is turned into a measurable experiment (E1–E11, see EXPERIMENTS.md).
 // Every experiment is deterministic given its config and renders its results
 // as a Table; cmd/evalrun regenerates all of them and bench_test.go measures
 // them.

@@ -52,6 +52,9 @@ type Engine struct {
 
 	sessions map[int]*session // live sessions by ID
 	nextID   int              // next session to start
+	limit    int              // sessions allowed to start (window budget)
+	windowed bool             // RunWindow drives the budget (gossip mode)
+	finished bool             // FinishRun has settled the engine
 	runErr   error            // first error raised inside the event loop
 	result   Result
 }
@@ -94,6 +97,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		nodeOf:     make(map[trust.PeerID]netsim.NodeID, len(cfg.Agents)),
 		estimators: make(map[trust.PeerID]trust.Estimator, len(cfg.Agents)),
 		sessions:   make(map[int]*session, cfg.Concurrency),
+		limit:      cfg.Sessions, // full-run budget; RunWindow switches to incremental
 	}
 	e.net = netsim.NewNetwork(e.sim, cfg.Latency)
 	e.net.SetDropRate(cfg.DropRate)
@@ -108,6 +112,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		store, err := complaints.Open(cfg.RepStore, bc)
 		if err != nil {
 			return nil, fmt.Errorf("market: reputation store: %w", err)
+		}
+		if cfg.GossipNode != nil {
+			// The gossip endpoint wraps the backend: local complaints still
+			// land on this shard's store immediately, and are buffered for
+			// the cell's next exchange; remote batches arrive through the
+			// store's batched write path. Everything below (estimators,
+			// assessor, post-run reads) goes through the node.
+			cfg.GossipNode.Attach(store)
+			store = cfg.GossipNode
 		}
 		e.repStore = store
 		population := make([]trust.PeerID, len(cfg.Agents))
@@ -154,15 +167,78 @@ func (e *Engine) RepStore() complaints.Store { return e.repStore }
 // Run executes the configured number of sessions and returns the aggregate
 // result. Up to Config.Concurrency sessions are in flight at any moment on
 // the virtual clock; each finishing session backfills the freed slot.
+//
+// With Config.Gossip enabled the engine emits sync points: sessions run in
+// windows of Gossip.Period, and each window boundary is a point where the
+// cell's exchange fabric may ship evidence between shards. Run drives the
+// windows itself only in the degenerate standalone case; a sharded cell's
+// coordinator (eval.RunCell) drives them explicitly through RunWindow +
+// FinishRun so it can interleave Fabric.Exchange calls between windows
+// without blocking engine goroutines on a barrier. With gossip disabled the
+// execution below is byte-identical to the pre-gossip engine.
 func (e *Engine) Run() (Result, error) {
+	if e.cfg.Gossip.Enabled() && e.cfg.GossipNode != nil {
+		// Standalone windowed run (no coordinator): the sync points exist
+		// but nothing exchanges at them. eval.RunCell never takes this path.
+		for e.nextID < e.cfg.Sessions && e.runErr == nil {
+			if err := e.RunWindow(e.cfg.Gossip.Period); err != nil {
+				break
+			}
+		}
+		return e.FinishRun()
+	}
 	e.fill()
 	e.sim.Run(0)
+	return e.FinishRun()
+}
+
+// RunWindow starts up to n further sessions and drives the virtual clock
+// until every started session has settled, without finalising the run — one
+// gossip window. The engine's own state (trust, reputation store, network
+// stats, virtual clock) carries over to the next window. Returns the first
+// run error; the aggregate Result comes from FinishRun.
+func (e *Engine) RunWindow(n int) error {
+	if e.finished {
+		return errors.New("market: RunWindow after FinishRun")
+	}
+	if n <= 0 {
+		return fmt.Errorf("market: window must be positive, have %d", n)
+	}
+	if !e.windowed {
+		// First window: switch from the full-run budget (the default, so
+		// the plain Run path and internal callers need no setup) to the
+		// incremental one.
+		e.windowed = true
+		e.limit = 0
+	}
+	e.limit += n
+	if e.limit > e.cfg.Sessions {
+		e.limit = e.cfg.Sessions
+	}
+	e.fill()
+	e.sim.Run(0)
+	return e.runErr
+}
+
+// FinishRun settles any surviving sessions, drains the reputation store and
+// returns the aggregate result — the tail of Run, exposed so a lockstep
+// coordinator can close a windowed run.
+func (e *Engine) FinishRun() (Result, error) {
+	if e.finished {
+		return Result{}, errors.New("market: FinishRun called twice")
+	}
+	e.finished = true
+	// A partial windowed run reports only the sessions that actually
+	// started: counting the never-started remainder would inflate
+	// TradeRate and break Sessions == sum of outcome counts.
+	started := e.nextID
 	// Defensive: per-session timeouts guarantee the event queue drains with
 	// no session live; if one somehow survives (or the run failed mid-way),
 	// settle it deterministically. The simulator is drained here, so starting
 	// more sessions would schedule events that never run — mark the run
 	// exhausted before settling so the finish → fill backfill stays a no-op.
 	e.nextID = e.cfg.Sessions
+	e.limit = e.cfg.Sessions
 	for _, id := range slices.Sorted(maps.Keys(e.sessions)) {
 		e.finish(e.sessions[id], reputation.Event{Aborted: true})
 	}
@@ -183,15 +259,17 @@ func (e *Engine) Run() (Result, error) {
 	if e.runErr != nil {
 		return Result{}, e.runErr
 	}
-	e.result.Sessions = e.cfg.Sessions
+	e.result.Sessions = started
 	e.result.NetStats = e.net.Stats()
 	return e.result, nil
 }
 
-// fill starts sessions until the concurrency window is full or none remain.
-// NoTrade sessions settle immediately at start and never occupy a slot.
+// fill starts sessions until the concurrency window is full or none remain
+// within the current window budget (Run sets the budget to all sessions;
+// RunWindow raises it one gossip window at a time). NoTrade sessions settle
+// immediately at start and never occupy a slot.
 func (e *Engine) fill() {
-	for e.runErr == nil && e.nextID < e.cfg.Sessions && len(e.sessions) < e.cfg.Concurrency {
+	for e.runErr == nil && e.nextID < e.limit && len(e.sessions) < e.cfg.Concurrency {
 		id := e.nextID
 		e.nextID++
 		if err := e.startSession(id); err != nil {

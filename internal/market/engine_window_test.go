@@ -1,0 +1,160 @@
+package market
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustcoop/internal/agent"
+	"trustcoop/internal/goods"
+	"trustcoop/internal/trust/gossip"
+)
+
+func windowAgents(t *testing.T, seed int64) []*agent.Agent {
+	t.Helper()
+	agents, err := agent.NewPopulation(agent.PopConfig{Honest: 6, Opportunist: 3, Stake: 2 * goods.Unit},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agents
+}
+
+// TestGossipWindowedRunMatchesRun: with sequential sessions, chopping a run
+// into RunWindow chunks (whatever their sizes) and closing with FinishRun is
+// byte-identical to one Run call — the sync points are pure punctuation
+// until a fabric exchanges something at them.
+func TestGossipWindowedRunMatchesRun(t *testing.T) {
+	cfg := Config{Seed: 71, Sessions: 60, Agents: windowAgents(t, 4), Strategy: StrategyTrustAware, RepStore: "sharded"}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, windows := range [][]int{{60}, {7, 53}, {16, 16, 16, 16, 16}, {1, 2, 3, 100}} {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range windows {
+			if err := eng.RunWindow(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := eng.FinishRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Errorf("windows %v: %+v\nwant %+v", windows, got, want)
+		}
+	}
+}
+
+// TestGossipStandaloneRunEmitsSyncPoints: an engine configured with gossip
+// but no coordinator (eval.RunCell drives real cells) runs its windows
+// itself; with nothing exchanging at the sync points the outcome matches
+// the ungossiped run over the same backend.
+func TestGossipStandaloneRunEmitsSyncPoints(t *testing.T) {
+	plain := Config{Seed: 9, Sessions: 50, Agents: windowAgents(t, 8), Strategy: StrategyTrustAware, RepStore: "sharded"}
+	eng, err := NewEngine(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric, err := gossip.NewFabric(gossip.Config{Period: 8}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := plain
+	gcfg.Gossip = gossip.Config{Period: 8}
+	gcfg.GossipNode = fabric.Node(0)
+	geng, err := NewEngine(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := geng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Errorf("standalone gossip run diverged from plain run:\n%+v\nvs\n%+v", got, want)
+	}
+	// The node observed the run: everything the engine filed sits in the
+	// outbox awaiting a (never-coming) exchange.
+	if st := fabric.Stats(); st.ComplaintsDelivered != 0 {
+		t.Errorf("no exchange ran, yet %d complaints delivered", st.ComplaintsDelivered)
+	}
+}
+
+// TestGossipWindowAPIContract: the windowed API rejects misuse loudly.
+func TestGossipWindowAPIContract(t *testing.T) {
+	cfg := Config{Seed: 5, Sessions: 10, Agents: windowAgents(t, 2)}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunWindow(0); err == nil {
+		t.Error("RunWindow(0) accepted")
+	}
+	if err := eng.RunWindow(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunWindow(4); err == nil {
+		t.Error("RunWindow after FinishRun accepted")
+	}
+	if _, err := eng.FinishRun(); err == nil {
+		t.Error("second FinishRun accepted")
+	}
+}
+
+// TestGossipFinishRunSettlesShortfall: finishing early still accounts every
+// configured session (the unstarted remainder never runs, started ones
+// settle), preserving the engine's accounting identities for partial runs.
+func TestGossipFinishRunSettlesShortfall(t *testing.T) {
+	cfg := Config{Seed: 13, Sessions: 40, Agents: windowAgents(t, 6)}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunWindow(15); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.FinishRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.NoTrade + res.Completed + res.Defected + res.Aborted; got != 15 {
+		t.Errorf("15-session partial run accounted %d outcomes", got)
+	}
+	if res.Sessions != 15 {
+		t.Errorf("partial run reports Sessions = %d, want the 15 that started (never-started sessions must not inflate TradeRate)", res.Sessions)
+	}
+}
+
+// TestGossipNodeRequiresRepStore: a gossip endpoint without a complaint
+// backend is a config error — there would be no evidence to exchange.
+func TestGossipNodeRequiresRepStore(t *testing.T) {
+	fabric, err := gossip.NewFabric(gossip.Config{Period: 4}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 1, Sessions: 10, Agents: windowAgents(t, 3), GossipNode: fabric.Node(0)}
+	if _, err := NewEngine(cfg); err == nil {
+		t.Error("GossipNode without RepStore accepted")
+	}
+	bad := Config{Seed: 1, Sessions: 10, Agents: windowAgents(t, 3), Gossip: gossip.Config{Period: -1}}
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("negative gossip period accepted")
+	}
+}

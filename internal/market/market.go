@@ -18,6 +18,7 @@ import (
 	"trustcoop/internal/stats"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
+	"trustcoop/internal/trust/gossip"
 )
 
 // Strategy selects how sessions schedule their exchanges.
@@ -79,6 +80,21 @@ type Config struct {
 	// RepStoreConfig tunes the selected backend (shard count, batch size,
 	// grid size, …). A zero Seed is derived from Config.Seed.
 	RepStoreConfig complaints.BackendConfig
+	// Gossip configures cross-shard complaint gossip for cells sharded
+	// across sub-engines (eval.RunCell): every Gossip.Period sessions the
+	// engine reaches a sync point, where the cell's exchange fabric ships
+	// complaint batches between shards. The config travels with the cell
+	// definition — period, topology and fan-out change the information
+	// structure, so they are part of the experiment, like CellShards. The
+	// zero value (Period 0, "period = ∞") disables gossip and leaves the
+	// engine's execution byte-identical to the ungossiped path.
+	Gossip gossip.Config
+	// GossipNode is this engine's endpoint in its cell's exchange fabric,
+	// set by eval.RunCell; the engine attaches it to the store built from
+	// RepStore, so locally filed complaints are buffered for gossip while
+	// remote batches land through the batched write path. Requires
+	// RepStore. nil means no gossip.
+	GossipNode *gossip.Node
 	// Gen configures bundle generation; zero value means
 	// goods.DefaultGenConfig.
 	Gen goods.GenConfig
@@ -110,6 +126,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.RepStore != "" && c.EstimatorOf != nil {
 		return c, errors.New("market: RepStore and EstimatorOf are mutually exclusive")
+	}
+	if err := c.Gossip.Validate(); err != nil {
+		return c, fmt.Errorf("market: %w", err)
+	}
+	if c.GossipNode != nil && c.RepStore == "" {
+		return c, errors.New("market: GossipNode requires a RepStore backend (gossip exchanges complaint evidence)")
 	}
 	if c.Gen.Items == 0 {
 		c.Gen = goods.DefaultGenConfig()

@@ -38,7 +38,10 @@ type ComplaintStore struct {
 	Replicas int
 }
 
-var _ complaints.Store = (*ComplaintStore)(nil)
+var (
+	_ complaints.Store      = (*ComplaintStore)(nil)
+	_ complaints.BatchFiler = (*ComplaintStore)(nil)
+)
 
 func (s *ComplaintStore) replicas() int {
 	if s.Replicas <= 0 {
@@ -87,6 +90,41 @@ func (s *ComplaintStore) File(c complaints.Complaint) error {
 		return fmt.Errorf("file complaint: %w", err)
 	}
 	return nil
+}
+
+// FileBatch implements complaints.BatchFiler for the decentralised store:
+// the batch's insertions are grouped by grid key (each complaint inserts
+// under two — its accused index and its complainer index) and each key group
+// lands with one routed walk via Grid.InsertBatch, instead of the two full
+// routings per complaint that repeated File calls pay. Keys are processed in
+// first-occurrence order, so the per-key value order — and therefore every
+// replica's stored record — matches what the same batch filed one complaint
+// at a time would leave. Every group is attempted even after a failure and
+// the first error is returned (the BatchFiler contract).
+func (s *ComplaintStore) FileBatch(batch []complaints.Complaint) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	groups := make(map[string][]string, 2*len(batch))
+	order := make([]string, 0, 2*len(batch))
+	add := func(key, v string) {
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], v)
+	}
+	for _, c := range batch {
+		v := encodeComplaint(c)
+		add(s.recvKey(c.About), v)
+		add(s.filedKey(c.From), v)
+	}
+	var firstErr error
+	for _, key := range order {
+		if err := s.Grid.InsertBatch(key, groups[key]); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("file complaint batch: %w", err)
+		}
+	}
+	return firstErr
 }
 
 // Received implements complaints.Store with replica voting. Values that do

@@ -35,6 +35,19 @@ func (g *Grid) routeFrom(start int, key string) (peer, hops int, err error) {
 // modelling the replica-group broadcast of the original protocol. The key
 // must be a Depth-bit binary string (use KeyFor).
 func (g *Grid) Insert(key, value string) error {
+	return g.InsertBatch(key, []string{value})
+}
+
+// InsertBatch stores several values under one key with a single routed walk:
+// the route to the responsible peer is resolved once for the whole group,
+// then every value lands at every replica — where repeated Insert calls pay
+// the full O(log N) routing (and its reference lookups) per value. Complaint
+// batches (ComplaintStore.FileBatch) group their values by key precisely to
+// hit this path. The key must be a Depth-bit binary string (use KeyFor).
+func (g *Grid) InsertBatch(key string, values []string) error {
+	if len(values) == 0 {
+		return nil
+	}
 	if err := g.checkKey(key); err != nil {
 		return err
 	}
@@ -44,8 +57,8 @@ func (g *Grid) Insert(key, value string) error {
 	stored := 0
 	for _, p := range g.peers {
 		if strings.HasPrefix(key, p.Path) {
-			p.store[key] = append(p.store[key], value)
-			stored++
+			p.store[key] = append(p.store[key], values...)
+			stored += len(values)
 		}
 	}
 	g.storeWrites += stored

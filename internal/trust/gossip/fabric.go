@@ -1,0 +1,289 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"trustcoop/internal/seedmix"
+	"trustcoop/internal/trust/complaints"
+)
+
+// batch is one shard's buffered complaints in flight, tagged with the shard
+// that filed them so ring relays know when a batch has completed its loop.
+type batch struct {
+	origin     int
+	complaints []complaints.Complaint
+	bytes      int64
+}
+
+// Fabric is one cell's exchange coordinator: it owns the shard Nodes and,
+// at every sync point, ships the buffered complaint batches between shards
+// over the configured topology. Exchange must be called from a single
+// coordinating goroutine while no sub-engine is running a window —
+// eval.RunCell's lockstep loop — which is what makes the exchanged evidence
+// independent of how many engines run concurrently between sync points.
+type Fabric struct {
+	cfg   Config
+	seed  int64
+	nodes []*Node
+
+	round  int64
+	relays [][]batch // TopologyRing: batches awaiting their next hop, per holder
+
+	// pendingIn[k] counts complaints filed at *other* shards and not yet
+	// delivered to shard k — the exact "evidence exists that this shard
+	// has not seen" quantity stale-read accounting is defined over. Filing
+	// optimistically marks every peer pending; Exchange settles each
+	// recipient as its delivery lands (or as the fanout schedule passes it
+	// over — see complaintsUnscheduled). Nodes consult the slice
+	// concurrently with engine windows, hence atomics.
+	pendingIn []atomic.Int64
+
+	batchesDelivered      atomic.Int64
+	complaintsDelivered   atomic.Int64
+	complaintsUnscheduled atomic.Int64
+	bytesDelivered        atomic.Int64
+	applyNs               atomic.Int64
+	reads, staleReads     atomic.Int64
+}
+
+// NewFabric builds the exchange fabric of a cell split into `shards`
+// sub-engines. The seed drives the exchange schedule (the fanout-limited
+// mesh rotation); derive it from the cell seed (eval.DeriveSeed) so a cell's
+// gossip stream is decorrelated from its sub-engines' session streams.
+func NewFabric(cfg Config, seed int64, shards int) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("gossip: fabric needs Period > 0 (gossip is off)")
+	}
+	if shards < 2 {
+		return nil, fmt.Errorf("gossip: need at least 2 shards to exchange, have %d", shards)
+	}
+	f := &Fabric{
+		cfg:       cfg,
+		seed:      seed,
+		relays:    make([][]batch, shards),
+		pendingIn: make([]atomic.Int64, shards),
+	}
+	f.nodes = make([]*Node, shards)
+	for k := range f.nodes {
+		f.nodes[k] = &Node{fabric: f, index: k}
+	}
+	return f, nil
+}
+
+// Shards reports the fabric's shard count.
+func (f *Fabric) Shards() int { return len(f.nodes) }
+
+// Node returns shard k's endpoint, to be attached to that sub-engine's
+// reputation store (market.Config.GossipNode).
+func (f *Fabric) Node(k int) *Node { return f.nodes[k] }
+
+// Exchange runs one sync round: it drains every node's outbox in shard
+// order and delivers the batches per the topology —
+//
+//   - mesh: each shard's batch goes directly to every other shard (or to a
+//     seed-deterministic rotating subset of Fanout of them), then is
+//     consumed;
+//   - ring: each shard forwards its new batch plus last round's relayed
+//     batches to its successor; an origin-tagged batch keeps relaying one
+//     hop per round until the next hop would be its origin, so it reaches
+//     every shard exactly once.
+//
+// Batches land through the destination store's BatchFiler fast path. Every
+// delivery is attempted even after a failure; the first error is returned.
+func (f *Fabric) Exchange() error {
+	f.round++
+	outs := make([][]complaints.Complaint, len(f.nodes))
+	for k, node := range f.nodes {
+		outs[k] = node.takeOutbox()
+	}
+	start := time.Now()
+	var firstErr error
+	deliver := func(dst int, b batch) {
+		if len(b.complaints) == 0 {
+			return
+		}
+		if err := f.nodes[dst].applyRemote(b.complaints); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.pendingIn[dst].Add(-int64(len(b.complaints)))
+		f.batchesDelivered.Add(1)
+		f.complaintsDelivered.Add(int64(len(b.complaints)))
+		f.bytesDelivered.Add(b.bytes)
+	}
+	switch f.cfg.topology() {
+	case TopologyRing:
+		f.exchangeRing(outs, deliver)
+	default:
+		f.exchangeMesh(outs, deliver)
+	}
+	f.applyNs.Add(time.Since(start).Nanoseconds())
+	return firstErr
+}
+
+// exchangeMesh delivers each shard's batch to its scheduled peers and
+// consumes it.
+func (f *Fabric) exchangeMesh(outs [][]complaints.Complaint, deliver func(int, batch)) {
+	n := len(f.nodes)
+	// One schedule stream per round, derived from (seed, round): the peer
+	// subsets depend only on the fabric's identity and the round number,
+	// never on what the shards did — reproducible and decorrelated.
+	var rng *rand.Rand
+	if f.cfg.Fanout > 0 && f.cfg.Fanout < n-1 {
+		rng = rand.New(rand.NewSource(seedmix.Derive(f.seed, uint64(f.round))))
+	}
+	for k := 0; k < n; k++ {
+		if len(outs[k]) == 0 {
+			continue
+		}
+		b := newBatch(k, outs[k])
+		peers := f.meshPeers(k, rng)
+		for _, dst := range peers {
+			deliver(dst, b)
+		}
+		// A fanout-limited schedule consumes the batch here: the peers it
+		// skipped will never receive this evidence (deliberate partial
+		// propagation — sampled second-hand monitoring). Settle their
+		// pending counters and make the loss measurable.
+		if skipped := n - 1 - len(peers); skipped > 0 {
+			for d := 0; d < n; d++ {
+				if d == k || slices.Contains(peers, d) {
+					continue
+				}
+				f.pendingIn[d].Add(-int64(len(outs[k])))
+			}
+			f.complaintsUnscheduled.Add(int64(skipped * len(outs[k])))
+		}
+	}
+}
+
+// meshPeers lists the destinations of shard k's batch this round, ascending.
+func (f *Fabric) meshPeers(k int, rng *rand.Rand) []int {
+	n := len(f.nodes)
+	others := make([]int, 0, n-1)
+	for d := 0; d < n; d++ {
+		if d != k {
+			others = append(others, d)
+		}
+	}
+	if rng == nil {
+		return others
+	}
+	perm := rng.Perm(len(others))
+	peers := make([]int, 0, f.cfg.Fanout)
+	for _, i := range perm[:f.cfg.Fanout] {
+		peers = append(peers, others[i])
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+// exchangeRing forwards each shard's new batch plus its held relays one hop
+// clockwise. A batch whose next hop would be its origin has completed the
+// loop and is retired.
+func (f *Fabric) exchangeRing(outs [][]complaints.Complaint, deliver func(int, batch)) {
+	n := len(f.nodes)
+	next := make([][]batch, n)
+	for k := 0; k < n; k++ {
+		dst := (k + 1) % n
+		send := make([]batch, 0, len(f.relays[k])+1)
+		if len(outs[k]) > 0 {
+			send = append(send, newBatch(k, outs[k]))
+		}
+		send = append(send, f.relays[k]...)
+		for _, b := range send {
+			deliver(dst, b)
+			if after := (dst + 1) % n; after != b.origin {
+				next[dst] = append(next[dst], b)
+			}
+		}
+	}
+	f.relays = next
+}
+
+// Drain runs as many extra exchange rounds as the topology needs to finish
+// delivering everything its schedule will ever deliver (1 for mesh, shards−1
+// for ring loops), so end-of-run evidence that is still in flight reaches
+// its recipients before post-run assessment. Evidence a fanout-limited mesh
+// already passed over is *not* recovered — that loss is the deliberate
+// partial-propagation semantics of Fanout, visible as
+// Stats.ComplaintsUnscheduled.
+func (f *Fabric) Drain() error {
+	rounds := 1
+	if f.cfg.topology() == TopologyRing {
+		rounds = len(f.nodes) - 1
+	}
+	var firstErr error
+	for i := 0; i < rounds; i++ {
+		if !f.inFlight() {
+			break
+		}
+		if err := f.Exchange(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// inFlight reports whether any shard still awaits scheduled deliveries.
+func (f *Fabric) inFlight() bool {
+	for k := range f.pendingIn {
+		if f.pendingIn[k].Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// newBatch tags a shard's drained outbox with its origin and wire size.
+func newBatch(origin int, cs []complaints.Complaint) batch {
+	b := batch{origin: origin, complaints: cs}
+	for _, c := range cs {
+		b.bytes += wireSize(len(c.From), len(c.About))
+	}
+	return b
+}
+
+// noteFiled records complaints entering shard origin's outbox: every peer
+// now has evidence it has not seen. (A fanout-limited mesh settles the
+// peers its schedule later skips in exchangeMesh.)
+func (f *Fabric) noteFiled(origin, n int) {
+	for k := range f.pendingIn {
+		if k != origin {
+			f.pendingIn[k].Add(int64(n))
+		}
+	}
+}
+
+// noteReads records n trust reads at shard reader, stale exactly when
+// evidence destined for *this* shard has not arrived yet — a recipient that
+// already received a batch reads fresh even while the batch keeps relaying
+// around a ring, and a shard's own outbox never makes its own reads stale
+// (local evidence is visible immediately).
+func (f *Fabric) noteReads(reader, n int) {
+	f.reads.Add(int64(n))
+	if f.pendingIn[reader].Load() > 0 {
+		f.staleReads.Add(int64(n))
+	}
+}
+
+// Stats snapshots the fabric's accounting.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		Rounds:                f.round,
+		BatchesDelivered:      f.batchesDelivered.Load(),
+		ComplaintsDelivered:   f.complaintsDelivered.Load(),
+		ComplaintsUnscheduled: f.complaintsUnscheduled.Load(),
+		BytesDelivered:        f.bytesDelivered.Load(),
+		ApplyNs:               f.applyNs.Load(),
+		Reads:                 f.reads.Load(),
+		StaleReads:            f.staleReads.Load(),
+	}
+}

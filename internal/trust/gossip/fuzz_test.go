@@ -1,0 +1,120 @@
+package gossip
+
+import (
+	"testing"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// decodeFuzzBatch turns raw fuzz bytes into a complaint batch: the first
+// byte of each record pair's length, then that many bytes of From, one
+// length byte and About — deliberately unvalidated, so the fuzzer can
+// produce empty IDs, separator characters, repeated and self-referential
+// complaints, and truncated garbage.
+func decodeFuzzBatch(data []byte) []complaints.Complaint {
+	var batch []complaints.Complaint
+	for len(data) >= 2 {
+		fl := int(data[0]) % 9
+		data = data[1:]
+		if len(data) < fl+1 {
+			break
+		}
+		from := trust.PeerID(data[:fl])
+		data = data[fl:]
+		al := int(data[0]) % 9
+		data = data[1:]
+		if len(data) < al {
+			break
+		}
+		about := trust.PeerID(data[:al])
+		data = data[al:]
+		batch = append(batch, complaints.Complaint{From: from, About: about})
+	}
+	return batch
+}
+
+// FuzzGossipApply hammers the exchange path with hostile remote batches:
+// whatever the batch contents (empty IDs, separator bytes, duplicates),
+// shipping it through mesh and ring fabrics must not panic, and the final
+// per-node counts must exactly equal a single shared store fed the same
+// stream — evidence is conserved, never duplicated or dropped, on both the
+// plain and the striped (batched-apply) backends.
+func FuzzGossipApply(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{2, 'a', 'b', 1, 'c'}, uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(3))
+	f.Add([]byte{5, ':', '>', ':', '>', 0, 3, 'x', 'y', 'z'}, uint8(2))
+	f.Add([]byte{1, 'p', 1, 'p', 1, 'p', 1, 'p', 1, 'q', 1, 'p'}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, knobs uint8) {
+		batch := decodeFuzzBatch(data)
+		shards := 2 + int(knobs%3)
+		topo := TopologyMesh
+		if knobs&4 != 0 {
+			topo = TopologyRing
+		}
+		backend := "memory"
+		if knobs&8 != 0 {
+			backend = "sharded"
+		}
+		fab, err := NewFabric(Config{Period: 1, Topology: topo}, int64(knobs), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < shards; k++ {
+			store, err := complaints.Open(backend, complaints.BackendConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fab.Node(k).Attach(store)
+		}
+		// Spray the batch across the shards, exchanging after every item.
+		for i, c := range batch {
+			if err := fab.Node(i%shards).File(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := fab.Exchange(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fab.Drain(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Conservation: every node's counts equal the shared store's for
+		// every ID the batch mentions.
+		shared := complaints.NewMemoryStore()
+		seen := map[trust.PeerID]bool{}
+		var ids []trust.PeerID
+		for _, c := range batch {
+			if err := shared.File(c); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []trust.PeerID{c.From, c.About} {
+				if !seen[p] {
+					seen[p] = true
+					ids = append(ids, p)
+				}
+			}
+		}
+		want, err := complaints.CountsAll(shared, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < shards; k++ {
+			got, err := fab.Node(k).CountsAll(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range ids {
+				if got[i] != want[i] {
+					t.Fatalf("node %d peer %q: counts %+v, shared store %+v (batch %v)", k, p, got[i], want[i], batch)
+				}
+			}
+		}
+		if st := fab.Stats(); st.ComplaintsDelivered != int64(len(batch)*(shards-1)) {
+			t.Fatalf("delivered %d complaints, want %d (each of %d filed reaches %d peers exactly once)",
+				st.ComplaintsDelivered, len(batch)*(shards-1), len(batch), shards-1)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package gossip implements cross-shard evidence exchange for sharded
+// experiment cells: the complaint-gossip subsystem that tunes the
+// *information structure* of a cell split across sub-engines (eval.RunCell).
+//
+// PR 3 left a sharded cell as isolated regional marketplaces — each
+// sub-engine learns trust only from its own sessions, the extreme end of the
+// information-structure spectrum the paper's reputation mechanism is
+// sensitive to. Gossip interpolates: each sub-engine attaches a Node to its
+// complaint store, the Node buffers locally filed complaints, and every
+// Period sessions the cell's Fabric ships the buffered batches between
+// shards over a seed-deterministic exchange schedule. The sync period is a
+// measurable staleness knob:
+//
+//	isolated shards  ←──  gossip(Period)  ──→  single shared engine
+//	(Period = ∞)        64 … 16 … 4 … 1        (Period → 0 limit)
+//
+// Remote batches land through the complaints.BatchFiler fast path
+// (complaints.FileAll), so foreign evidence costs one lock pass per shard
+// per batch, exactly like the write-behind drain of complaints.AsyncStore.
+//
+// Determinism contract: the Fabric is driven from a single coordinating
+// goroutine (eval.RunCell's lockstep loop) *between* engine windows, its
+// schedules derive from a seed, batches are collected and applied in shard
+// order — so for a fixed (seed, shard count, Config) the exchanged evidence
+// is byte-identical however many sub-engines run concurrently.
+package gossip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Topology selects the exchange schedule shape.
+type Topology string
+
+// The exchange topologies.
+const (
+	// TopologyMesh delivers every shard's batch directly to (up to Fanout
+	// of) all other shards each round — one-hop propagation, the fastest
+	// convergence to the shared-evidence limit.
+	TopologyMesh Topology = "mesh"
+	// TopologyRing forwards batches around a ring, one hop per round:
+	// origin-tagged batches relay shard → shard+1 until they return to
+	// their origin, so every complaint reaches every shard exactly once
+	// after at most shards−1 rounds — minimal per-round traffic, maximal
+	// propagation delay.
+	TopologyRing Topology = "ring"
+)
+
+// Config parameterises a cell's gossip. The zero value disables gossip
+// (isolated shards, exactly the PR 3 information structure).
+type Config struct {
+	// Period is the number of sessions each sub-engine runs between sync
+	// points; 0 disables gossip (the "period = ∞" end of the spectrum).
+	Period int
+	// Topology selects the exchange schedule; empty means TopologyMesh.
+	Topology Topology
+	// Fanout caps how many peers each shard's batch is delivered to per
+	// round under TopologyMesh (a seed-deterministic rotating subset);
+	// 0 means all peers. This is deliberate *partial propagation*: the
+	// peers a round's schedule skips never receive that round's batch
+	// (sampled second-hand monitoring, an intermediate information
+	// structure) — the permanently undelivered volume is
+	// Stats.ComplaintsUnscheduled. Ignored by TopologyRing, whose fan-out
+	// is 1 by construction and whose relays deliver to everyone.
+	Fanout int
+}
+
+// Enabled reports whether the config turns gossip on.
+func (c Config) Enabled() bool { return c.Period > 0 }
+
+// topology resolves the default.
+func (c Config) topology() Topology {
+	if c.Topology == "" {
+		return TopologyMesh
+	}
+	return c.Topology
+}
+
+// Validate rejects malformed configs; the zero value (gossip off) is valid.
+func (c Config) Validate() error {
+	if c.Period < 0 {
+		return fmt.Errorf("gossip: period must be non-negative, have %d", c.Period)
+	}
+	if c.Fanout < 0 {
+		return fmt.Errorf("gossip: fanout must be non-negative, have %d", c.Fanout)
+	}
+	switch c.topology() {
+	case TopologyMesh, TopologyRing:
+		return nil
+	default:
+		return fmt.Errorf("gossip: unknown topology %q (have %s, %s)", c.Topology, TopologyMesh, TopologyRing)
+	}
+}
+
+// String renders the config for table titles and logs: "off", or e.g.
+// "every 16 sessions over mesh", "every 4 sessions over mesh fanout 2",
+// "every 8 sessions over ring".
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	s := fmt.Sprintf("every %d sessions over %s", c.Period, c.topology())
+	if c.topology() == TopologyMesh && c.Fanout > 0 {
+		s += fmt.Sprintf(" fanout %d", c.Fanout)
+	}
+	return s
+}
+
+// ParseSpec parses the -gossip flag syntax: "" or "off" disable gossip;
+// otherwise "PERIOD[:TOPOLOGY[:FANOUT]]", e.g. "16", "16:ring", "4:mesh:2".
+func ParseSpec(spec string) (Config, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return Config{}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return Config{}, fmt.Errorf("gossip: spec %q, want PERIOD[:TOPOLOGY[:FANOUT]]", spec)
+	}
+	var cfg Config
+	period, err := strconv.Atoi(parts[0])
+	if err != nil || period < 0 {
+		return Config{}, fmt.Errorf("gossip: spec %q: bad period %q", spec, parts[0])
+	}
+	cfg.Period = period
+	if len(parts) > 1 {
+		cfg.Topology = Topology(parts[1])
+	}
+	if len(parts) > 2 {
+		fanout, err := strconv.Atoi(parts[2])
+		if err != nil || fanout < 0 {
+			return Config{}, fmt.Errorf("gossip: spec %q: bad fanout %q", spec, parts[2])
+		}
+		cfg.Fanout = fanout
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Stats is a snapshot of a Fabric's exchange accounting, the gossip section
+// of the bench JSON.
+type Stats struct {
+	// Rounds counts Exchange calls (including the final flush round).
+	Rounds int64
+	// BatchesDelivered counts (batch, destination shard) deliveries.
+	BatchesDelivered int64
+	// ComplaintsDelivered counts complaints applied to remote shards; one
+	// filed complaint delivered to k peers counts k times.
+	ComplaintsDelivered int64
+	// ComplaintsUnscheduled counts (complaint, peer) deliveries a
+	// fanout-limited mesh schedule skipped — evidence those peers will
+	// never receive. Always 0 for the full mesh and the ring.
+	ComplaintsUnscheduled int64
+	// BytesDelivered estimates the wire traffic of the deliveries using the
+	// repository's complaint encoding size (len(From) + len(About) + 2
+	// framing bytes per complaint).
+	BytesDelivered int64
+	// ApplyNs is the wall-clock time spent applying remote batches to the
+	// shards' stores (the complaints.FileAll fast path).
+	ApplyNs int64
+	// Reads counts trust reads served by the fabric's nodes; StaleReads is
+	// the subset served while evidence scheduled for the reading shard had
+	// not yet been delivered to it — the gossip analogue of
+	// complaints.AsyncStats.StaleReads. With concurrent sub-engines the
+	// split is scheduling-dependent (the totals are not), so it belongs in
+	// bench snapshots, not experiment tables.
+	Reads, StaleReads int64
+}
+
+// wireSize is the estimated encoded size of one complaint on the wire,
+// matching the length-prefixed pgrid encoding's order of magnitude.
+func wireSize(fromLen, aboutLen int) int64 { return int64(fromLen + aboutLen + 2) }

@@ -1,0 +1,173 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// Node is one shard's endpoint in a cell's exchange fabric: a
+// complaints.Store decorator that the sub-engine uses as its reputation
+// store. Writes pass straight through to the attached inner store (a shard
+// always sees its *own* evidence immediately — gossip only controls how fast
+// it learns about the others') and are additionally buffered in the node's
+// outbox until the next Fabric.Exchange ships them to peer shards. Reads
+// pass through untouched, with staleness accounting against the cell-wide
+// undelivered backlog.
+//
+// A Node is created by NewFabric and attached to its store by the engine
+// (market.Config.GossipNode). It is safe for concurrent use once attached;
+// the Fabric only touches the outbox between engine windows.
+type Node struct {
+	fabric *Fabric
+	index  int
+
+	mu     sync.Mutex
+	inner  complaints.Store
+	outbox []complaints.Complaint
+}
+
+var (
+	_ complaints.Store       = (*Node)(nil)
+	_ complaints.Counter     = (*Node)(nil)
+	_ complaints.BatchFiler  = (*Node)(nil)
+	_ complaints.Snapshotter = (*Node)(nil)
+	_ complaints.Flusher     = (*Node)(nil)
+)
+
+// Attach binds the node to the shard's complaint store. The engine calls it
+// once, before any session runs; re-attaching panics (it would silently
+// split the shard's evidence between two stores).
+func (n *Node) Attach(inner complaints.Store) {
+	if inner == nil {
+		panic("gossip: Attach(nil store)")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inner != nil {
+		panic(fmt.Sprintf("gossip: node %d attached twice", n.index))
+	}
+	n.inner = inner
+}
+
+// Index reports the node's shard index within its fabric.
+func (n *Node) Index() int { return n.index }
+
+// store returns the attached inner store, panicking on use-before-Attach —
+// a programmer error (the engine attaches at construction).
+func (n *Node) store() complaints.Store {
+	n.mu.Lock()
+	inner := n.inner
+	n.mu.Unlock()
+	if inner == nil {
+		panic(fmt.Sprintf("gossip: node %d used before Attach", n.index))
+	}
+	return inner
+}
+
+// File implements complaints.Store: the complaint lands on the local store
+// immediately and is buffered for the next exchange.
+func (n *Node) File(c complaints.Complaint) error {
+	inner := n.store()
+	n.mu.Lock()
+	n.outbox = append(n.outbox, c)
+	n.mu.Unlock()
+	n.fabric.noteFiled(n.index, 1)
+	return inner.File(c)
+}
+
+// FileBatch implements complaints.BatchFiler, buffering the whole batch with
+// one lock pass and forwarding it through the inner store's own fast path.
+func (n *Node) FileBatch(batch []complaints.Complaint) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	inner := n.store()
+	n.mu.Lock()
+	n.outbox = append(n.outbox, batch...)
+	n.mu.Unlock()
+	n.fabric.noteFiled(n.index, len(batch))
+	return complaints.FileAll(inner, batch)
+}
+
+// takeOutbox drains the buffered local complaints; called by the Fabric
+// between engine windows.
+func (n *Node) takeOutbox() []complaints.Complaint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.outbox
+	n.outbox = nil
+	return out
+}
+
+// applyRemote lands a peer shard's batch on the local store through the
+// batched fast path — one lock pass per shard of a striped store, exactly
+// like the async drain. Remote evidence is *not* re-buffered into the
+// outbox; the Fabric's schedule (direct mesh delivery, origin-tagged ring
+// relays) owns propagation, which is what keeps every complaint's delivery
+// count deterministic.
+func (n *Node) applyRemote(batch []complaints.Complaint) error {
+	return complaints.FileAll(n.store(), batch)
+}
+
+// Received implements complaints.Store.
+func (n *Node) Received(p trust.PeerID) (int, error) {
+	n.fabric.noteReads(n.index, 1)
+	return n.store().Received(p)
+}
+
+// Filed implements complaints.Store.
+func (n *Node) Filed(p trust.PeerID) (int, error) {
+	n.fabric.noteReads(n.index, 1)
+	return n.store().Filed(p)
+}
+
+// Counts implements complaints.Counter through the inner store's combined
+// lookup when it has one.
+func (n *Node) Counts(p trust.PeerID) (received, filed int, err error) {
+	n.fabric.noteReads(n.index, 1)
+	inner := n.store()
+	if c, ok := inner.(complaints.Counter); ok {
+		return c.Counts(p)
+	}
+	received, err = inner.Received(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	filed, err = inner.Filed(p)
+	return received, filed, err
+}
+
+// CountsAll implements complaints.Snapshotter through the inner store's bulk
+// scan when it has one; the scan counts as len(peers) reads sharing one
+// staleness observation, keeping stale-read fractions comparable to
+// complaints.AsyncStats.
+func (n *Node) CountsAll(peers []trust.PeerID) ([]complaints.Tally, error) {
+	n.fabric.noteReads(n.index, len(peers))
+	return complaints.CountsAll(n.store(), peers)
+}
+
+// Flush implements complaints.Flusher, draining a write-behind inner store.
+// It does not trigger an exchange — sync points belong to the Fabric.
+func (n *Node) Flush() error {
+	if f, ok := n.store().(complaints.Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// Close settles the inner store: Close when it is closable, Flush when it is
+// only write-behind. Reads stay valid afterwards (the inner stores'
+// contract), which post-run assessment relies on.
+func (n *Node) Close() error {
+	inner := n.store()
+	switch s := inner.(type) {
+	case interface{ Close() error }:
+		return s.Close()
+	case complaints.Flusher:
+		return s.Flush()
+	}
+	return nil
+}
