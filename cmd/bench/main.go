@@ -36,6 +36,7 @@ import (
 	"trustcoop/internal/exchange"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
+	"trustcoop/internal/netsim"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
 	"trustcoop/internal/trust/gossip"
@@ -149,21 +150,59 @@ type gossipReport struct {
 	Runs     []gossipRun `json:"runs"`
 }
 
+type evidenceKindRun struct {
+	Kind string `json:"kind"`
+	// Micro-costs of the delta codec and the associative merge, over a
+	// 64-item delta of the kind's typical shape.
+	EncodeNsPerDelta float64 `json:"encode_ns_per_delta"`
+	DecodeNsPerDelta float64 `json:"decode_ns_per_delta"`
+	MergeNsPerDelta  float64 `json:"merge_ns_per_delta"`
+	DeltaBytes       int     `json:"delta_bytes"`
+	// Cell-level traffic: one trust-aware cell sharded ×4 at period 4 over
+	// the full mesh, the E12 shape.
+	BytesPerSession float64 `json:"bytes_per_session"`
+	ItemsDelivered  int64   `json:"items_delivered"`
+	ApplyNsPerItem  float64 `json:"apply_ns_per_item"`
+	// Redundant-path run: the same cell over the double ring, where the
+	// receiver-side (origin, seq) ledger drops the second copy.
+	DedupDroppedRing2 int64   `json:"dedup_dropped_ring2"`
+	DedupHitRateRing2 float64 `json:"dedup_hit_rate_ring2"`
+}
+
+type evidencePlaneReport struct {
+	Shards   int               `json:"shards"`
+	Sessions int               `json:"sessions"`
+	Period   int               `json:"period"`
+	Kinds    []evidenceKindRun `json:"kinds"`
+}
+
 type report struct {
-	Generated    string             `json:"generated"`
-	GoVersion    string             `json:"go_version"`
-	NumCPU       int                `json:"num_cpu"`
-	GOMAXPROCS   int                `json:"gomaxprocs"`
-	Seed         int64              `json:"seed"`
-	Quick        bool               `json:"quick"`
-	Reps         int                `json:"reps"`
-	Experiments  []experimentReport `json:"experiments"`
-	Schedule     []scheduleReport   `json:"schedule_fast_path"`
-	Engine       []engineReport     `json:"engine_sessions"`
-	Stores       []storeReport      `json:"store_contention"`
-	CellSharding cellShardingReport `json:"cell_sharding"`
-	Gossip       gossipReport       `json:"gossip"`
-	Notes        string             `json:"notes"`
+	Generated     string              `json:"generated"`
+	GoVersion     string              `json:"go_version"`
+	NumCPU        int                 `json:"num_cpu"`
+	GOMAXPROCS    int                 `json:"gomaxprocs"`
+	Seed          int64               `json:"seed"`
+	Quick         bool                `json:"quick"`
+	Reps          int                 `json:"reps"`
+	Experiments   []experimentReport  `json:"experiments"`
+	Schedule      []scheduleReport    `json:"schedule_fast_path"`
+	Engine        []engineReport      `json:"engine_sessions"`
+	Netsim        []netsimReport      `json:"netsim_tick_batching"`
+	Stores        []storeReport       `json:"store_contention"`
+	CellSharding  cellShardingReport  `json:"cell_sharding"`
+	Gossip        gossipReport        `json:"gossip"`
+	EvidencePlane evidencePlaneReport `json:"evidence_plane"`
+	Notes         string              `json:"notes"`
+}
+
+type netsimReport struct {
+	Workload string `json:"workload"`
+	Events   int    `json:"events"`
+	// TotalNs is the whole workload's wall clock (Events scheduled and
+	// drained once); NsPerEvent is the per-event cost every other section's
+	// ns_per_op fields are comparable to.
+	TotalNs    float64 `json:"total_ns"`
+	NsPerEvent float64 `json:"ns_per_event"`
 }
 
 func main() {
@@ -182,7 +221,9 @@ func run(args []string) error {
 	repstore := fs.String("repstore", "memory,sharded,async:sharded",
 		"comma-separated complaint-store specs for the contention benchmark (concurrency-safe backends only; pgrid is single-threaded by design)")
 	gossipSpec := fs.String("gossip", "0:mesh",
-		"fabric shape for the gossip benchmark section, spec PERIOD[:TOPOLOGY[:FANOUT]] (e.g. 0:mesh, 0:ring, 0:mesh:2); the section always sweeps the standard periods, and a non-zero PERIOD is added to the sweep")
+		"fabric shape for the gossip benchmark section, spec PERIOD[:TOPOLOGY[:FANOUT]] (e.g. 0:mesh, 0:ring, 0:ring2, 0:mesh:2); the section always sweeps the standard periods, and a non-zero PERIOD is added to the sweep")
+	evidence := fs.String("evidence", "complaints,posterior",
+		"comma-separated evidence kinds for the evidence_plane benchmark section")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -233,7 +274,20 @@ func run(args []string) error {
 			"reads fresh while later hops stay stale; scheduling-dependent " +
 			"across concurrent engines, so it lives here and not in the E11 " +
 			"table); complaints_unscheduled counts deliveries a fanout-limited " +
-			"mesh permanently skipped (0 for full mesh and ring)",
+			"mesh permanently skipped (0 for full mesh and ring); " +
+			"netsim_tick_batching times the simulator's bucketed event queue " +
+			"(PR 5) on its best shape (64 same-tick events per timestamp, one " +
+			"heap op per tick) and its worst (fully spread timestamps, where " +
+			"the per-tick bucket and map churn are pure overhead); " +
+			"evidence_plane measures the generalized evidence plane per kind: " +
+			"64-item delta codec and associative-merge micro-costs, one " +
+			"sharded x4 cell's delta traffic at period 4 over the full mesh, " +
+			"and the same cell over the redundant double ring where " +
+			"dedup_hit_rate_ring2 is the fraction of deliveries the " +
+			"receiver-side (origin, seq) ledger dropped (~0.5 by construction: " +
+			"two paths, one survivor); the filebatch pgrid-deferred row runs " +
+			"DeferReplication (store-and-forward replica broadcast) on the " +
+			"pgrid stream",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -331,6 +385,14 @@ func run(args []string) error {
 		return err
 	}
 	rep.Gossip = gr
+
+	ep, err := benchEvidencePlane(*seed, *quick, strings.Split(*evidence, ","))
+	if err != nil {
+		return err
+	}
+	rep.EvidencePlane = ep
+
+	rep.Netsim = benchNetsim(*reps)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -475,6 +537,169 @@ func benchGossip(seed int64, quick bool, reps int, gc gossip.Config) (gossipRepo
 	return gr, nil
 }
 
+// benchEvidencePlane measures the generalized evidence plane (PR 5) per
+// kind: the delta codec and merge micro-costs, one sharded ×4 trust-aware
+// cell's delta traffic at period 4 over the full mesh (bytes per session,
+// remote-apply cost per item), and the same cell over the redundant double
+// ring, where the receiver-side dedup ledger absorbs the second path
+// (dedup_hit_rate_ring2 = dropped / (applied + dropped) deliveries).
+func benchEvidencePlane(seed int64, quick bool, kinds []string) (evidencePlaneReport, error) {
+	const shards, period = 4, 4
+	sessions := 1600
+	if quick {
+		sessions = 240
+	}
+	ep := evidencePlaneReport{Shards: shards, Sessions: sessions, Period: period}
+	ids := benchutil.StorePeers(64)
+	for _, kindName := range kinds {
+		kindName = strings.TrimSpace(kindName)
+		if kindName == "" {
+			continue
+		}
+		kind := trust.EvidenceKind(kindName)
+		run := evidenceKindRun{Kind: kindName}
+
+		// Micro: a 64-item delta of the kind's typical shape.
+		var delta trust.EvidenceDelta
+		switch kind {
+		case trust.EvidenceComplaints:
+			batch := make([]complaints.Complaint, 64)
+			for i := range batch {
+				batch[i] = complaints.Complaint{From: ids[(i*7)%len(ids)], About: ids[(i*13+3)%len(ids)]}
+			}
+			delta = complaints.NewDelta(batch)
+		case trust.EvidencePosterior:
+			rows := make([]trust.PosteriorRow, 0, 64)
+			for i := 0; i < 64; i++ {
+				rows = append(rows, trust.PosteriorRow{
+					Observer: ids[i%8], Subject: ids[8+(i/8)%8],
+					Coop: float64(i % 5), Defect: float64(i % 3), Obs: uint64(1 + i%4),
+				})
+			}
+			delta = trust.NewPosteriorDelta(1, rows)
+		default:
+			return evidencePlaneReport{}, fmt.Errorf("bench: unknown evidence kind %q", kindName)
+		}
+		payload := delta.Encode()
+		run.DeltaBytes = len(payload)
+		const micro = 2000
+		start := time.Now()
+		for i := 0; i < micro; i++ {
+			_ = delta.Encode()
+		}
+		run.EncodeNsPerDelta = float64(time.Since(start).Nanoseconds()) / micro
+		start = time.Now()
+		for i := 0; i < micro; i++ {
+			if _, err := trust.DecodeEvidence(kind, payload); err != nil {
+				return evidencePlaneReport{}, err
+			}
+		}
+		run.DecodeNsPerDelta = float64(time.Since(start).Nanoseconds()) / micro
+		start = time.Now()
+		for i := 0; i < micro; i++ {
+			a, err := trust.DecodeEvidence(kind, payload)
+			if err != nil {
+				return evidencePlaneReport{}, err
+			}
+			if err := a.Merge(delta); err != nil {
+				return evidencePlaneReport{}, err
+			}
+		}
+		// Decode cost is measured above; subtract it so the merge number is
+		// the merge alone (clamped at 0 for timer noise).
+		mergeNs := float64(time.Since(start).Nanoseconds())/micro - run.DecodeNsPerDelta
+		if mergeNs < 0 {
+			mergeNs = 0
+		}
+		run.MergeNsPerDelta = mergeNs
+
+		// Cell-level traffic per topology.
+		cellStats := func(topo gossip.Topology) (gossip.Stats, error) {
+			agents, err := agent.NewPopulation(agent.PopConfig{Honest: 12, Opportunist: 6},
+				rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return gossip.Stats{}, err
+			}
+			cfg := market.Config{
+				Seed:     seed,
+				Sessions: sessions,
+				Agents:   agents,
+				Strategy: market.StrategyTrustAware,
+				Gossip:   gossip.Config{Period: period, Topology: topo},
+			}
+			if kind == trust.EvidencePosterior {
+				cfg.Evidence = kind
+			} else {
+				cfg.RepStore = "sharded"
+			}
+			_, st, err := eval.RunCellStats(cfg, shards, 0)
+			return st, err
+		}
+		mesh, err := cellStats(gossip.TopologyMesh)
+		if err != nil {
+			return evidencePlaneReport{}, err
+		}
+		run.BytesPerSession = float64(mesh.BytesDelivered) / float64(sessions)
+		run.ItemsDelivered = mesh.ComplaintsDelivered
+		if mesh.ComplaintsDelivered > 0 {
+			run.ApplyNsPerItem = float64(mesh.ApplyNs) / float64(mesh.ComplaintsDelivered)
+		}
+		ring2, err := cellStats(gossip.TopologyDoubleRing)
+		if err != nil {
+			return evidencePlaneReport{}, err
+		}
+		run.DedupDroppedRing2 = ring2.DedupDropped
+		if total := ring2.BatchesDelivered + ring2.DedupDropped; total > 0 {
+			run.DedupHitRateRing2 = float64(ring2.DedupDropped) / float64(total)
+		}
+		ep.Kinds = append(ep.Kinds, run)
+		fmt.Fprintf(os.Stderr, "evidence %s: %dB/delta, encode %.0f decode %.0f merge %.0f ns, %.1f B/session, dedup hit rate %.2f\n",
+			kindName, run.DeltaBytes, run.EncodeNsPerDelta, run.DecodeNsPerDelta, run.MergeNsPerDelta,
+			run.BytesPerSession, run.DedupHitRateRing2)
+	}
+	return ep, nil
+}
+
+// benchNetsim measures the simulator's event loop on the two shapes the
+// same-tick batching (PR 5) distinguishes: many deliveries sharing a
+// timestamp (the large-Concurrency engine profile) versus fully spread
+// timestamps (the control where batching must not hurt).
+func benchNetsim(reps int) []netsimReport {
+	const events = 4096
+	shapes := []struct {
+		name  string
+		ticks int
+	}{
+		{"same_tick_64_per_tick", events / 64},
+		{"spread_one_per_tick", events},
+	}
+	var out []netsimReport
+	for _, shape := range shapes {
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			s := netsim.NewSimulator(1)
+			for e := 0; e < events; e++ {
+				s.Schedule(netsim.Time(e%shape.ticks), func() {})
+			}
+			if n := s.Run(0); n != events {
+				panic("netsim bench lost events")
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		out = append(out, netsimReport{
+			Workload:   shape.name,
+			Events:     events,
+			TotalNs:    float64(best.Nanoseconds()),
+			NsPerEvent: float64(best.Nanoseconds()) / events,
+		})
+		fmt.Fprintf(os.Stderr, "netsim %s: %.0f ns/event\n", shape.name, float64(best.Nanoseconds())/events)
+	}
+	return out
+}
+
 // benchFileBatch compares the batched write path against per-complaint File
 // on each centralised backend plus the decentralised pgrid store (its
 // FileBatch routes once per distinct grid key per batch instead of twice per
@@ -495,10 +720,17 @@ func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
 		stream[i] = complaints.Complaint{From: ids[(i*7)%len(ids)], About: ids[(i*13+3)%len(ids)]}
 	}
 	var out []batchFileRun
-	for _, spec := range []string{"memory", "sharded", "async:sharded", "pgrid"} {
+	for _, spec := range []string{"memory", "sharded", "async:sharded", "pgrid", "pgrid-deferred"} {
 		specOps := ops
-		if spec == "pgrid" {
+		openSpec, bc := spec, complaints.BackendConfig{BatchSize: batchSize, Seed: 11}
+		if strings.HasPrefix(spec, "pgrid") {
+			// Every pgrid operation pays O(log N) routing and a replica-group
+			// write, so the rows run a tenth of the stream; the deferred row
+			// (PR 5) buffers the replica broadcast per key and pays it once
+			// at the closing Flush.
 			specOps = ops / 10
+			openSpec = "pgrid"
+			bc.DeferReplication = spec == "pgrid-deferred"
 		}
 		run := batchFileRun{Backend: spec, BatchSize: batchSize}
 		for _, batched := range []bool{false, true} {
@@ -506,7 +738,7 @@ func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
 			for r := 0; r < reps; r++ {
 				// Deterministic async mode: both paths pay the drain inline,
 				// so the comparison isolates locking, not goroutine handoff.
-				store, err := complaints.Open(spec, complaints.BackendConfig{BatchSize: batchSize, Seed: 11})
+				store, err := complaints.Open(openSpec, bc)
 				if err != nil {
 					return nil, err
 				}

@@ -1,4 +1,4 @@
-// Command evalrun regenerates the experiment tables (E1–E11) that stand in
+// Command evalrun regenerates the experiment tables (E1–E12) that stand in
 // for the paper's evaluation. See EXPERIMENTS.md for the claim → experiment
 // mapping and the reference output.
 //
@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N] [-engines E] [-repstore sharded,async] [-gossip 16:ring]
+//	evalrun [-exp E1,E3] [-seed 42] [-quick] [-csv] [-workers N] [-engines E] [-repstore sharded,async] [-gossip 16:ring] [-evidence posterior]
 package main
 
 import (
@@ -36,7 +36,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "trial worker pool size; 0 means GOMAXPROCS")
 	engines := fs.Int("engines", 0, "concurrent sub-engines per sharded experiment cell; 0 means min(GOMAXPROCS, cell shard count) — pure parallelism, tables are identical for every value")
 	repstore := fs.String("repstore", "", "restrict the reputation-backend experiments (E10) to these comma-separated complaint-store specs (e.g. sharded,async:sharded); empty runs the default portfolio")
-	gossipSpec := fs.String("gossip", "", "cross-shard complaint gossip for the sharded-cell experiments (E2, E3, E6; topology/fanout also steer E11's sweep), spec PERIOD[:TOPOLOGY[:FANOUT]] e.g. 16, 16:ring, 4:mesh:2; empty or 'off' keeps shards isolated — enabling gossip changes the information structure and the affected table titles say so")
+	gossipSpec := fs.String("gossip", "", "cross-shard evidence gossip for the sharded-cell experiments (E2, E3, E6; topology/fanout also steer E11's and E12's sweeps), spec PERIOD[:TOPOLOGY[:FANOUT]] e.g. 16, 16:ring, 4:mesh:2, 8:ring2; empty or 'off' keeps shards isolated — enabling gossip changes the information structure and the affected table titles say so")
+	evidence := fs.String("evidence", "", "evidence kind gossiping cells exchange: 'complaints' (default; the shared complaint model over -repstore backends) or 'posterior' (per-agent Beta estimators gossiping posterior deltas); restricts E12's kind sweep — part of the experiment definition, shown in titles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,7 +53,7 @@ func run(args []string) error {
 		}
 	}
 	for _, id := range ids {
-		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, EnginesPerCell: *engines, RepStore: *repstore, Gossip: *gossipSpec})
+		tbl, err := eval.Run(id, eval.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, EnginesPerCell: *engines, RepStore: *repstore, Gossip: *gossipSpec, Evidence: *evidence})
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunQuickSubset drives the real flag surface end to end: a quick
+// experiment subset, CSV mode, and the evidence/gossip knobs — including
+// the posterior-gossip path over a sharded cell.
+func TestRunQuickSubset(t *testing.T) {
+	null, err := os.Open(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	// Silence the table output; run's correctness is its error behaviour.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	for _, args := range [][]string{
+		{"-exp", "E1", "-quick", "-seed", "3"},
+		{"-exp", "E2", "-quick", "-seed", "3", "-csv", "-workers", "2"},
+		{"-exp", "E2", "-quick", "-seed", "3", "-gossip", "2:ring2", "-evidence", "posterior", "-engines", "2"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+// TestRunRejectsBadFlags: malformed specs fail fast with an error, not a
+// mislabeled table.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "E99", "-quick"},
+		{"-exp", "E2", "-quick", "-gossip", "4:torus"},
+		{"-exp", "E1", "-quick", "-evidence", "telepathy"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -127,8 +128,8 @@ func RunCellStats(cfg market.Config, shards, engines int) (market.Result, gossip
 // deliberately less than everything filed (gossip.Stats.ComplaintsUnscheduled
 // counts the difference).
 func runCellGossip(cfg market.Config, shards, engines int, subConfig func(int) market.Config) (market.Result, gossip.Stats, error) {
-	if cfg.RepStore == "" {
-		return market.Result{}, gossip.Stats{}, fmt.Errorf("eval: gossip (%s) needs a RepStore backend to exchange complaint evidence", cfg.Gossip)
+	if cfg.RepStore == "" && cfg.Evidence != trust.EvidencePosterior {
+		return market.Result{}, gossip.Stats{}, fmt.Errorf("eval: gossip (%s) needs an evidence plane to exchange — a RepStore complaint backend or Evidence = posterior", cfg.Gossip)
 	}
 	fabric, err := gossip.NewFabric(cfg.Gossip, DeriveSeed(cfg.Seed, shards), shards)
 	if err != nil {
@@ -200,6 +201,11 @@ type cellCaveats struct {
 	Shards int
 	// Gossip is the cell's evidence exchange; the zero value adds nothing.
 	Gossip gossip.Config
+	// Evidence is the kind the exchange moves; "" and complaints both read
+	// "complaint gossip" (the historical spelling), posterior reads
+	// "posterior gossip" — the kind changes what second-hand evidence means,
+	// so it is part of the caveat.
+	Evidence trust.EvidenceKind
 	// RepStore is the complaint backend spec; only write-behind specs
 	// (containing "async") add a caveat — exact backends don't change the
 	// information structure.
@@ -213,7 +219,11 @@ func (c cellCaveats) annotate(title string) string {
 		parts = append(parts, fmt.Sprintf("cells sharded ×%d: trust learned per shard", c.Shards))
 	}
 	if c.Gossip.Enabled() {
-		parts = append(parts, fmt.Sprintf("complaint gossip %s", c.Gossip))
+		kind := "complaint"
+		if c.Evidence == trust.EvidencePosterior {
+			kind = "posterior"
+		}
+		parts = append(parts, fmt.Sprintf("%s gossip %s", kind, c.Gossip))
 	}
 	if strings.Contains(c.RepStore, "async") {
 		parts = append(parts, fmt.Sprintf("async evidence via %s", c.RepStore))
@@ -224,12 +234,27 @@ func (c cellCaveats) annotate(title string) string {
 	return fmt.Sprintf("%s (%s)", title, strings.Join(parts, "; "))
 }
 
-// gossipRepStore resolves the complaint backend a gossiping cell runs over:
-// "" while gossip is off (the cell keeps its pre-gossip trust wiring), the
-// configured spec or the "sharded" default while it is on. E2/E3/E6 share
+// gossipEvidence resolves the evidence kind of a gossiping cell: "" while
+// gossip is off (the cell keeps its pre-gossip trust wiring), the
+// configured kind or the complaints default while it is on. E2/E3/E6 share
 // this policy from their withDefaults.
-func gossipRepStore(gc gossip.Config, repStore string) string {
+func gossipEvidence(gc gossip.Config, evidence trust.EvidenceKind) trust.EvidenceKind {
 	if !gc.Enabled() {
+		return ""
+	}
+	if evidence == "" {
+		return trust.EvidenceComplaints
+	}
+	return evidence
+}
+
+// gossipRepStore resolves the complaint backend a gossiping cell runs over:
+// "" while gossip is off (the cell keeps its pre-gossip trust wiring) and
+// for posterior evidence (the posterior lives in per-agent estimators, not
+// a complaint store), the configured spec or the "sharded" default
+// otherwise. E2/E3/E6 share this policy from their withDefaults.
+func gossipRepStore(gc gossip.Config, evidence trust.EvidenceKind, repStore string) string {
+	if !gc.Enabled() || evidence == trust.EvidencePosterior {
 		return ""
 	}
 	if repStore == "" {

@@ -6,6 +6,7 @@ import (
 
 	"trustcoop/internal/agent"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -167,28 +168,82 @@ func E11GossipPeriod(cfg E11Config) (*Table, error) {
 // runE11Cell runs one marketplace cell of the ablation. Every cell shares
 // the population and the cell seed, so the only varying factor across the
 // period rows is the gossip schedule; the shards=1 call is the single-engine
-// baseline.
+// baseline. E12 runs the same cells (its complaint rows are byte-identical
+// to E11's at matched shape) through the shared ablation-cell runner.
 func runE11Cell(cfg E11Config, gc gossip.Config, shards int) (e11Cell, error) {
+	return runAblationCell(ablationCell{
+		Seed:       cfg.Seed,
+		Sessions:   cfg.Sessions,
+		Population: cfg.Population,
+		Cheaters:   cfg.Cheaters,
+		RepStore:   cfg.RepStore,
+		Gossip:     gc,
+		Shards:     shards,
+		Engines:    cfg.EnginesPerCell,
+	})
+}
+
+// ablationCell describes one marketplace cell of a gossip ablation (E11,
+// E12): the shared population/seed shape where only the evidence kind and
+// the gossip schedule vary.
+type ablationCell struct {
+	Seed       int64
+	Sessions   int
+	Population int
+	Cheaters   int
+	// Evidence "" (or complaints) runs the shared complaint model over
+	// RepStore — exactly the E11 cell; posterior runs per-agent Beta
+	// estimators gossiping posterior deltas.
+	Evidence trust.EvidenceKind
+	// Beta tunes the posterior estimators (posterior kind only).
+	Beta     trust.BetaConfig
+	RepStore string
+	Gossip   gossip.Config
+	Shards   int
+	Engines  int
+}
+
+// marketConfig renders the cell as the market configuration RunCellStats
+// consumes. Exposed separately so the byte-identity tests can run the very
+// same configuration through an independent reference implementation.
+func (c ablationCell) marketConfig() (market.Config, error) {
 	pop := agent.PopConfig{
-		Honest:      cfg.Population - cfg.Cheaters,
-		Opportunist: cfg.Cheaters / 2,
-		Backstabber: cfg.Cheaters - cfg.Cheaters/2,
+		Honest:      c.Population - c.Cheaters,
+		Opportunist: c.Cheaters / 2,
+		Backstabber: c.Cheaters - c.Cheaters/2,
 		Stake:       0, // cooperation must come from trust-aware exposure caps
 	}
-	agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(cfg.Seed)))
+	agents, err := agent.NewPopulation(pop, rand.New(rand.NewSource(c.Seed)))
+	if err != nil {
+		return market.Config{}, err
+	}
+	mc := market.Config{
+		Seed:     DeriveSeed(c.Seed, 1),
+		Sessions: c.Sessions,
+		Agents:   agents,
+		Strategy: market.StrategyTrustAware,
+		Gossip:   c.Gossip,
+	}
+	if c.Evidence == trust.EvidencePosterior {
+		mc.Evidence = c.Evidence
+		mc.Beta = c.Beta
+	} else {
+		// The complaint path leaves Evidence at the default — the exact
+		// configuration E11 has always built, so matched-shape rows stay
+		// byte-identical.
+		mc.RepStore = c.RepStore
+	}
+	return mc, nil
+}
+
+func runAblationCell(c ablationCell) (e11Cell, error) {
+	mc, err := c.marketConfig()
 	if err != nil {
 		return e11Cell{}, err
 	}
-	res, stats, err := RunCellStats(market.Config{
-		Seed:     DeriveSeed(cfg.Seed, 1),
-		Sessions: cfg.Sessions,
-		Agents:   agents,
-		Strategy: market.StrategyTrustAware,
-		RepStore: cfg.RepStore,
-		Gossip:   gc,
-	}, shards, cfg.EnginesPerCell)
+	res, stats, err := RunCellStats(mc, c.Shards, c.Engines)
 	if err != nil {
-		return e11Cell{}, fmt.Errorf("gossip %s: %w", gc, err)
+		return e11Cell{}, fmt.Errorf("gossip %s: %w", c.Gossip, err)
 	}
 	return e11Cell{res: res, stats: stats}, nil
 }

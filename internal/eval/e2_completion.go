@@ -6,6 +6,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -34,8 +35,14 @@ type E2Config struct {
 	Gossip gossip.Config
 	// RepStore is the complaint backend the gossiping cells run over; ""
 	// means "sharded". Ignored while Gossip is off (cells keep their
-	// private Beta estimators, the pre-gossip behaviour).
+	// private Beta estimators, the pre-gossip behaviour) and for posterior
+	// evidence.
 	RepStore string
+	// Evidence selects the kind the gossiping cells exchange: complaints
+	// (default; the shared complaint model over RepStore) or posterior
+	// (per-agent Beta estimators whose posterior deltas gossip). Ignored
+	// while Gossip is off.
+	Evidence trust.EvidenceKind
 }
 
 func (c E2Config) withDefaults() E2Config {
@@ -45,7 +52,8 @@ func (c E2Config) withDefaults() E2Config {
 	if c.CellShards == 0 {
 		c.CellShards = DefaultCellShards
 	}
-	c.RepStore = gossipRepStore(c.Gossip, c.RepStore)
+	c.Evidence = gossipEvidence(c.Gossip, c.Evidence)
+	c.RepStore = gossipRepStore(c.Gossip, c.Evidence, c.RepStore)
 	if c.Population <= 0 {
 		c.Population = 24
 	}
@@ -69,7 +77,7 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E2",
-		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, RepStore: cfg.RepStore}.annotate("strategy comparison: trade rate, completion, welfare, honest losses"),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, RepStore: cfg.RepStore}.annotate("strategy comparison: trade rate, completion, welfare, honest losses"),
 		Cols:  []string{"cheaters", "strategy", "trade rate", "completion", "welfare", "honest loss", "safe plans"},
 	}
 	type cell struct {
@@ -104,6 +112,7 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 			Strategy:    c.strat,
 			Concurrency: cfg.Concurrency,
 			RepStore:    cfg.RepStore,
+			Evidence:    cfg.Evidence,
 			Gossip:      cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})

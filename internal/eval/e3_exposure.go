@@ -6,6 +6,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/market"
 	"trustcoop/internal/stats"
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -27,8 +28,11 @@ type E3Config struct {
 	// gossip schedule.
 	Gossip gossip.Config
 	// RepStore is the complaint backend for gossiping cells; "" means
-	// "sharded". Ignored while Gossip is off.
+	// "sharded". Ignored while Gossip is off and for posterior evidence.
 	RepStore string
+	// Evidence selects the kind the gossiping cells exchange (see
+	// E2Config.Evidence). Ignored while Gossip is off.
+	Evidence trust.EvidenceKind
 }
 
 func (c E3Config) withDefaults() E3Config {
@@ -38,7 +42,8 @@ func (c E3Config) withDefaults() E3Config {
 	if c.CellShards == 0 {
 		c.CellShards = DefaultCellShards
 	}
-	c.RepStore = gossipRepStore(c.Gossip, c.RepStore)
+	c.Evidence = gossipEvidence(c.Gossip, c.Evidence)
+	c.RepStore = gossipRepStore(c.Gossip, c.Evidence, c.RepStore)
 	if c.Population <= 0 {
 		c.Population = 20
 	}
@@ -62,7 +67,7 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E3",
-		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, RepStore: cfg.RepStore}.annotate("planned exposure bounds realised losses (trust-aware strategy)"),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, RepStore: cfg.RepStore}.annotate("planned exposure bounds realised losses (trust-aware strategy)"),
 		Cols: []string{"cheaters", "side", "planned mean", "planned max",
 			"realised mean", "realised max", "violations"},
 	}
@@ -84,6 +89,7 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
 			RepStore: cfg.RepStore,
+			Evidence: cfg.Evidence,
 			Gossip:   cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})

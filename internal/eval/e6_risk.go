@@ -7,6 +7,7 @@ import (
 	"trustcoop/internal/agent"
 	"trustcoop/internal/decision"
 	"trustcoop/internal/market"
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -26,8 +27,11 @@ type E6Config struct {
 	// Gossip enables cross-shard complaint gossip (see E2Config.Gossip).
 	Gossip gossip.Config
 	// RepStore is the complaint backend for gossiping cells; "" means
-	// "sharded". Ignored while Gossip is off.
+	// "sharded". Ignored while Gossip is off and for posterior evidence.
 	RepStore string
+	// Evidence selects the kind the gossiping cells exchange (see
+	// E2Config.Evidence). Ignored while Gossip is off.
+	Evidence trust.EvidenceKind
 }
 
 func (c E6Config) withDefaults() E6Config {
@@ -37,7 +41,8 @@ func (c E6Config) withDefaults() E6Config {
 	if c.CellShards == 0 {
 		c.CellShards = DefaultCellShards
 	}
-	c.RepStore = gossipRepStore(c.Gossip, c.RepStore)
+	c.Evidence = gossipEvidence(c.Gossip, c.Evidence)
+	c.RepStore = gossipRepStore(c.Gossip, c.Evidence, c.RepStore)
 	if c.Population <= 0 {
 		c.Population = 18
 	}
@@ -58,7 +63,7 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E6",
-		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, RepStore: cfg.RepStore}.annotate("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary"),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, RepStore: cfg.RepStore}.annotate("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary"),
 		Cols:  []string{"policy", "trade rate", "completion", "welfare", "honest loss", "max loss"},
 	}
 	results, err := RunTrials(cfg.Workers, len(cfg.Alphas), func(ci int) (market.Result, error) {
@@ -86,6 +91,7 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 			Agents:   agents,
 			Strategy: market.StrategyTrustAware,
 			RepStore: cfg.RepStore,
+			Evidence: cfg.Evidence,
 			Gossip:   cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})

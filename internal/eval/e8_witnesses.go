@@ -7,6 +7,7 @@ import (
 	"trustcoop/internal/pgrid"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
+	"trustcoop/internal/trust/gossip"
 )
 
 // E8Config parameterises the adversarial-witness experiment.
@@ -19,6 +20,17 @@ type E8Config struct {
 	LiarPct      []float64 // lying-reporter fractions; nil means {0, 0.15, 0.3, 0.45}
 	Replicas     []int     // replica queries per count; nil means {1, 3, 7}
 	Workers      int       // trial worker pool; 0 means DefaultWorkers()
+	// CellShards splits each cell's complaint stream round-robin across
+	// that many independent P-Grids whose stores exchange complaint deltas
+	// over a gossip fabric — the decentralised store riding the same
+	// evidence plane as everything else. <= 1 (the default) files into one
+	// grid, the historical table. Detection reads shard 0's grid; with
+	// honest storage a drained fabric leaves it holding every complaint, so
+	// the liars=0 rows reproduce the unsharded detection exactly.
+	CellShards int
+	// GossipPeriod is the per-shard complaint count between exchanges when
+	// sharded; 0 means 16.
+	GossipPeriod int
 }
 
 func (c E8Config) withDefaults() E8Config {
@@ -40,6 +52,9 @@ func (c E8Config) withDefaults() E8Config {
 	if len(c.Replicas) == 0 {
 		c.Replicas = []int{1, 3, 7}
 	}
+	if c.GossipPeriod <= 0 {
+		c.GossipPeriod = 16
+	}
 	return c
 }
 
@@ -54,9 +69,17 @@ func (c E8Config) withDefaults() E8Config {
 // with identical tables for every worker count.
 func E8AdversarialWitnesses(cfg E8Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	title := "cheater detection under lying reporters and Byzantine storage (pgrid)"
+	if cfg.CellShards > 1 {
+		title = cellCaveats{
+			Shards:   cfg.CellShards,
+			Gossip:   gossip.Config{Period: cfg.GossipPeriod},
+			Evidence: trust.EvidenceComplaints,
+		}.annotate(title)
+	}
 	tbl := &Table{
 		ID:    "E8",
-		Title: "cheater detection under lying reporters and Byzantine storage (pgrid)",
+		Title: title,
 		Cols:  []string{"liars", "replicas", "precision", "recall", "F1"},
 	}
 	type cell struct {
@@ -90,12 +113,6 @@ func E8AdversarialWitnesses(cfg E8Config) (*Table, error) {
 
 func runE8Cell(cfg E8Config, liarPct float64, replicas int) (precision, recall float64, err error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(liarPct*1000) + int64(replicas)))
-	grid, err := pgrid.New(pgrid.Config{Peers: cfg.GridPeers, Seed: cfg.Seed + int64(replicas)})
-	if err != nil {
-		return 0, 0, err
-	}
-	grid.MarkMalicious(liarPct)
-	store := &pgrid.ComplaintStore{Grid: grid, Replicas: replicas}
 
 	population := make([]trust.PeerID, cfg.Peers)
 	isCheater := make(map[trust.PeerID]bool, cfg.Cheaters)
@@ -111,6 +128,9 @@ func runE8Cell(cfg E8Config, liarPct float64, replicas int) (precision, recall f
 		isLiar[honest[idx]] = true
 	}
 
+	// Draw the complaint stream first — the population stream is identical
+	// whether it then lands on one grid or shards across several.
+	var stream []complaints.Complaint
 	for k := 0; k < cfg.Interactions; k++ {
 		a := population[rng.Intn(len(population))]
 		b := population[rng.Intn(len(population))]
@@ -121,14 +141,32 @@ func runE8Cell(cfg E8Config, liarPct float64, replicas int) (precision, recall f
 			if isLiar[a] {
 				// Liars shield cheaters and frame an honest peer instead.
 				victim := honest[rng.Intn(len(honest))]
-				err = store.File(complaints.Complaint{From: a, About: victim})
+				stream = append(stream, complaints.Complaint{From: a, About: victim})
 			} else {
-				err = store.File(complaints.Complaint{From: a, About: b})
-			}
-			if err != nil {
-				return 0, 0, err
+				stream = append(stream, complaints.Complaint{From: a, About: b})
 			}
 		}
+	}
+
+	gridSeed := cfg.Seed + int64(replicas)
+	var store complaints.Store
+	if cfg.CellShards > 1 {
+		store, err = runE8Sharded(cfg, liarPct, replicas, gridSeed, stream)
+	} else {
+		grid, gerr := pgrid.New(pgrid.Config{Peers: cfg.GridPeers, Seed: gridSeed})
+		if gerr != nil {
+			return 0, 0, gerr
+		}
+		grid.MarkMalicious(liarPct)
+		store = &pgrid.ComplaintStore{Grid: grid, Replicas: replicas}
+		for _, c := range stream {
+			if err = store.File(c); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return 0, 0, err
 	}
 
 	assessor := complaints.Assessor{Store: store, Population: population}
@@ -155,4 +193,49 @@ func runE8Cell(cfg E8Config, liarPct float64, replicas int) (precision, recall f
 		recall = float64(tp) / float64(tp+fn)
 	}
 	return precision, recall, nil
+}
+
+// runE8Sharded files the cell's complaint stream round-robin across
+// CellShards independent P-Grids wired as gossip nodes, exchanging
+// complaint deltas every GossipPeriod complaints per shard, and returns
+// shard 0's store (drained — it holds every complaint the schedule
+// delivers) for detection. Each shard's grid derives its construction seed
+// from the cell's, and each marks its own liarPct storage fraction
+// malicious — the decentralised deployment where even the storage overlay
+// is partitioned.
+func runE8Sharded(cfg E8Config, liarPct float64, replicas int, gridSeed int64, stream []complaints.Complaint) (complaints.Store, error) {
+	fab, err := gossip.NewFabric(gossip.Config{Period: cfg.GossipPeriod}, DeriveSeed(gridSeed, 99), cfg.CellShards)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < cfg.CellShards; k++ {
+		grid, err := pgrid.New(pgrid.Config{Peers: cfg.GridPeers, Seed: DeriveSeed(gridSeed, k)})
+		if err != nil {
+			return nil, err
+		}
+		grid.MarkMalicious(liarPct)
+		fab.Node(k).Attach(&pgrid.ComplaintStore{Grid: grid, Replicas: replicas})
+	}
+	step := 0
+	for idx := 0; idx < len(stream); {
+		for k := 0; k < cfg.CellShards && idx < len(stream); k++ {
+			if err := fab.Node(k).File(stream[idx]); err != nil {
+				return nil, err
+			}
+			idx++
+			step++
+			if step%(cfg.CellShards*cfg.GossipPeriod) == 0 {
+				if err := fab.Exchange(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := fab.Exchange(); err != nil {
+		return nil, err
+	}
+	if err := fab.Drain(); err != nil {
+		return nil, err
+	}
+	return fab.Node(0), nil
 }

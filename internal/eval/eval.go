@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -20,16 +21,21 @@ type Runner func(rc RunConfig) (*Table, error)
 // sharded-cell experiments (E2, E3, E6; topology/fanout for E11's sweep) —
 // an information-structure change, reflected in their table titles.
 func All() map[string]Runner {
-	// withGossip parses RunConfig.Gossip once for the gossip-aware
-	// experiments; Run additionally rejects a malformed spec for every id,
-	// so a typo fails fast even when only gossip-blind experiments run.
-	withGossip := func(build func(gc gossip.Config, rc RunConfig) (*Table, error)) Runner {
+	// withGossip parses RunConfig.Gossip and RunConfig.Evidence once for
+	// the gossip-aware experiments; Run additionally rejects malformed
+	// specs for every id, so a typo fails fast even when only gossip-blind
+	// experiments run.
+	withGossip := func(build func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error)) Runner {
 		return func(rc RunConfig) (*Table, error) {
 			gc, err := rc.gossipCfg()
 			if err != nil {
 				return nil, err
 			}
-			return build(gc, rc)
+			kind, err := rc.evidenceKind()
+			if err != nil {
+				return nil, err
+			}
+			return build(gc, kind, rc)
 		}
 	}
 	return map[string]Runner{
@@ -41,8 +47,8 @@ func All() map[string]Runner {
 			}
 			return E1SafeExistence(cfg)
 		},
-		"E2": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
-			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc}
+		"E2": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
+			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
@@ -50,8 +56,8 @@ func All() map[string]Runner {
 			}
 			return E2CompletionWelfare(cfg)
 		}),
-		"E3": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
-			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc}
+		"E3": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
+			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
@@ -77,8 +83,8 @@ func All() map[string]Runner {
 			}
 			return E5Complexity(cfg)
 		},
-		"E6": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
-			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc}
+		"E6": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
+			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 9
@@ -123,7 +129,7 @@ func All() map[string]Runner {
 			}
 			return E10BackendAblation(cfg)
 		},
-		"E11": withGossip(func(gc gossip.Config, rc RunConfig) (*Table, error) {
+		"E11": withGossip(func(gc gossip.Config, _ trust.EvidenceKind, rc RunConfig) (*Table, error) {
 			cfg := E11Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell,
 				Topology: gc.Topology, Fanout: gc.Fanout}
 			if rc.Quick {
@@ -132,6 +138,20 @@ func All() map[string]Runner {
 				cfg.Periods = []int{0, 8, 2}
 			}
 			return E11GossipPeriod(cfg)
+		}),
+		"E12": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
+			cfg := E12Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell,
+				Topology: gc.Topology, Fanout: gc.Fanout}
+			if kind != "" {
+				cfg.Kinds = []trust.EvidenceKind{kind}
+			}
+			if rc.Quick {
+				cfg.Sessions = 80
+				cfg.Population = 9
+				cfg.Periods = []int{0, 8, 2}
+				cfg.Trials = 2
+			}
+			return E12EvidencePlane(cfg)
 		}),
 	}
 }
@@ -154,15 +174,19 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id. A malformed RunConfig.Gossip spec is
-// rejected for every id — including the gossip-blind experiments — so a
-// typo'd -gossip flag fails fast instead of being silently ignored.
+// Run executes one experiment by id. Malformed RunConfig.Gossip and
+// RunConfig.Evidence specs are rejected for every id — including the
+// gossip-blind experiments — so a typo'd flag fails fast instead of being
+// silently ignored.
 func Run(id string, rc RunConfig) (*Table, error) {
 	r, ok := All()[id]
 	if !ok {
 		return nil, fmt.Errorf("eval: unknown experiment %q (have %v)", id, IDs())
 	}
 	if _, err := rc.gossipCfg(); err != nil {
+		return nil, err
+	}
+	if _, err := rc.evidenceKind(); err != nil {
 		return nil, err
 	}
 	return r(rc)

@@ -1,0 +1,42 @@
+package eval
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"trustcoop/internal/testutil"
+)
+
+// TestGoldenQuickTables pins two representative quick tables — E2 (the
+// netsim-heavy marketplace path: every session is a message exchange on the
+// virtual clock) and E11 (the gossip lockstep path) — against a committed
+// golden rendering. This is the cross-change determinism anchor the
+// in-process invariance tests cannot provide: a change to the simulator's
+// event queue (the same-tick batching), the engine, or the evidence plane
+// that shifts any execution order shows up here as a one-line diff against
+// the file recorded before the change, not as a silent drift.
+//
+// Regenerate deliberately (and say so in the PR) with:
+//
+//	go run ./cmd/evalrun -exp E2,E11 -quick -seed 77 > internal/eval/testdata/golden_quick_seed77.txt
+func TestGoldenQuickTables(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_quick_seed77.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, id := range []string{"E2", "E11"} {
+		tbl, err := Run(id, RunConfig{Seed: 77, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Fprint(&sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n")
+	}
+	if got, want := sb.String(), string(raw); got != want {
+		t.Errorf("quick tables drifted from the committed golden rendering:\n%s", testutil.FirstDiff(want, got))
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"trustcoop/internal/seedmix"
+	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
 
@@ -31,19 +33,42 @@ type RunConfig struct {
 	// comma-separated list of complaint-store specs (e.g.
 	// "sharded,async:sharded"); empty runs the default portfolio.
 	RepStore string
-	// Gossip enables cross-shard complaint gossip on the sharded-cell
+	// Gossip enables cross-shard evidence gossip on the sharded-cell
 	// experiments (E2, E3, E6), spec "PERIOD[:TOPOLOGY[:FANOUT]]" (e.g.
-	// "16", "16:ring", "4:mesh:2"); for E11 only the topology and fanout
-	// apply (the period is the sweep axis). Gossip is part of the
+	// "16", "16:ring", "4:mesh:2"); for E11 and E12 only the topology and
+	// fanout apply (the period is the sweep axis). Gossip is part of the
 	// experiment definition — enabling it changes the information
 	// structure and the affected table titles say so. Empty (or "off")
 	// keeps shards isolated.
 	Gossip string
+	// Evidence selects the evidence kind gossiping cells exchange:
+	// "complaints" (the default) runs the shared complaint model over
+	// RepStore, "posterior" runs per-agent Beta estimators whose
+	// Beta-posterior deltas gossip instead (E2, E3, E6 under Gossip); for
+	// E12 it restricts the kind sweep to one kind. Like Gossip it is part
+	// of the experiment definition and shows in the affected titles.
+	Evidence string
 }
 
 // gossipCfg parses the Gossip spec; the zero Config when unset.
 func (rc RunConfig) gossipCfg() (gossip.Config, error) {
 	return gossip.ParseSpec(rc.Gossip)
+}
+
+// evidenceKind resolves the Evidence spec; "" (complaints by default for
+// the gossip-enabled cells, the full sweep for E12) when unset.
+func (rc RunConfig) evidenceKind() (trust.EvidenceKind, error) {
+	switch rc.Evidence {
+	case "":
+		return "", nil
+	case string(trust.EvidenceComplaints):
+		return trust.EvidenceComplaints, nil
+	case string(trust.EvidencePosterior):
+		return trust.EvidencePosterior, nil
+	default:
+		return "", fmt.Errorf("eval: unknown evidence kind %q (have %s, %s)",
+			rc.Evidence, trust.EvidenceComplaints, trust.EvidencePosterior)
+	}
 }
 
 // repStores splits the RepStore list; nil when unset.

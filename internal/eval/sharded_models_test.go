@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestE4ShardedMatchesUnshardedForDecayFreeModels is the "every estimator
+// can shard" proof at the accuracy level: splitting each model's replay
+// across gossiping sub-models (posterior deltas for beta and the mui
+// witness network, complaint deltas for the complaint model) reproduces the
+// unsharded MAE column *exactly* for every decay-free model, at every shard
+// count — the posterior without forgetting is a plain sum, so a drained
+// fabric leaves shard 0 holding precisely the global evidence. Only
+// beta+decay may drift (the windowed apply order reorders its decay), which
+// is why it is excluded here and annotated in the sharded title.
+func TestE4ShardedMatchesUnshardedForDecayFreeModels(t *testing.T) {
+	base := E4Config{Seed: 23, Population: 16, Rounds: []int{5, 20}}
+	want, err := E4TrustLearning(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[string]bool{"interactions": true, "beta": true, "mui": true, "complaints": true}
+	for _, shards := range []int{2, 4} {
+		cfg := base
+		cfg.CellShards = shards
+		got, err := E4TrustLearning(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, col := range want.Cols {
+			if !exact[col] {
+				continue
+			}
+			for ri := range want.Rows {
+				if got.Rows[ri][ci] != want.Rows[ri][ci] {
+					t.Errorf("shards=%d col %s row %d: %s != unsharded %s",
+						shards, col, ri, got.Rows[ri][ci], want.Rows[ri][ci])
+				}
+			}
+		}
+		if got.Title == want.Title {
+			t.Errorf("sharded E4 title does not carry the information-structure caveat: %q", got.Title)
+		}
+	}
+}
+
+// TestE4ShardedChangesNothingByDefault: CellShards 0/1 is the historical
+// replay, byte for byte.
+func TestE4ShardedChangesNothingByDefault(t *testing.T) {
+	base := E4Config{Seed: 9, Population: 16, Rounds: []int{5}}
+	a, err := E4TrustLearning(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := base
+	one.CellShards = 1
+	b, err := E4TrustLearning(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("CellShards=1 diverged from the default replay")
+	}
+}
+
+// TestE8ShardedMatchesUnshardedWithHonestStorage: with no liars (and thus
+// no malicious storage), a drained complaint-gossip fabric leaves shard 0's
+// grid holding every complaint, so detection quality equals the single-grid
+// cell exactly — row by row. Byzantine rows legitimately differ (each
+// shard's grid draws its own malicious set), which is the sharded
+// deployment's actual threat model and the reason the title says so.
+func TestE8ShardedMatchesUnshardedWithHonestStorage(t *testing.T) {
+	base := E8Config{Seed: 13, Peers: 24, GridPeers: 32, Interactions: 600,
+		LiarPct: []float64{0}, Replicas: []int{1, 3}}
+	want, err := E8AdversarialWitnesses(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		cfg := base
+		cfg.CellShards = shards
+		got, err := E8AdversarialWitnesses(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range want.Rows {
+			if fmt.Sprint(got.Rows[ri]) != fmt.Sprint(want.Rows[ri]) {
+				t.Errorf("shards=%d row %d: %v != unsharded %v", shards, ri, got.Rows[ri], want.Rows[ri])
+			}
+		}
+		if got.Title == want.Title {
+			t.Errorf("sharded E8 title does not carry the information-structure caveat: %q", got.Title)
+		}
+	}
+}

@@ -132,8 +132,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return &complaints.Estimator{Assessor: assessor, Observer: id}
 		}
 	}
+	if cfg.Evidence == trust.EvidencePosterior && cfg.GossipNode != nil {
+		// The shard's per-agent Beta estimators live in the gossip node's
+		// book: records land locally at once and are buffered as posterior
+		// deltas for the cell's next exchange; remote deltas merge in with
+		// decay compensation. This is the path that lets estimator-backed
+		// cells shard — same fabric, different evidence kind.
+		book := cfg.GossipNode.AttachBook(cfg.Beta)
+		estimatorOf = book.Estimator
+	}
 	if estimatorOf == nil {
-		estimatorOf = func(trust.PeerID) trust.Estimator { return trust.NewBeta(trust.BetaConfig{}) }
+		// Private per-agent Beta estimators — both the historical default
+		// and the standalone Evidence = posterior wiring (Config.Beta is
+		// the zero value unless set, so the paths are byte-identical).
+		bcfg := cfg.Beta
+		estimatorOf = func(trust.PeerID) trust.Estimator { return trust.NewBeta(bcfg) }
 	}
 
 	for i, a := range cfg.Agents {

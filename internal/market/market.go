@@ -80,6 +80,25 @@ type Config struct {
 	// RepStoreConfig tunes the selected backend (shard count, batch size,
 	// grid size, …). A zero Seed is derived from Config.Seed.
 	RepStoreConfig complaints.BackendConfig
+	// Evidence selects the trust-evidence kind the engine's estimators run
+	// on — the knob that decides what a sharded cell gossips:
+	//
+	//   - "" keeps the wiring implied by the other fields (RepStore →
+	//     complaint estimators, EstimatorOf → custom, neither → private
+	//     Beta estimators), the pre-evidence-plane behaviour;
+	//   - trust.EvidenceComplaints makes the complaint wiring explicit and
+	//     requires RepStore;
+	//   - trust.EvidencePosterior gives every agent a Bayesian
+	//     direct-experience estimator (trust.Beta, tuned by Config.Beta).
+	//     Standalone that is exactly the default private-Beta marketplace;
+	//     with GossipNode set the estimators live in the node's
+	//     gossip.Book, so the cell's fabric exchanges Beta-posterior
+	//     deltas between shards — the path that lets estimator-backed
+	//     cells shard. Mutually exclusive with RepStore and EstimatorOf.
+	Evidence trust.EvidenceKind
+	// Beta tunes the posterior estimators (Evidence = posterior); the zero
+	// value is the uniform prior with no forgetting.
+	Beta trust.BetaConfig
 	// Gossip configures cross-shard complaint gossip for cells sharded
 	// across sub-engines (eval.RunCell): every Gossip.Period sessions the
 	// engine reaches a sync point, where the cell's exchange fabric ships
@@ -90,10 +109,12 @@ type Config struct {
 	// engine's execution byte-identical to the ungossiped path.
 	Gossip gossip.Config
 	// GossipNode is this engine's endpoint in its cell's exchange fabric,
-	// set by eval.RunCell; the engine attaches it to the store built from
-	// RepStore, so locally filed complaints are buffered for gossip while
-	// remote batches land through the batched write path. Requires
-	// RepStore. nil means no gossip.
+	// set by eval.RunCell. With a complaint backend (RepStore) the engine
+	// attaches the node to the store it builds, so locally filed
+	// complaints are buffered for gossip while remote batches land through
+	// the batched write path; with Evidence = posterior the engine attaches
+	// a gossip.Book of per-agent Beta estimators instead. Requires RepStore
+	// or Evidence = posterior. nil means no gossip.
 	GossipNode *gossip.Node
 	// Gen configures bundle generation; zero value means
 	// goods.DefaultGenConfig.
@@ -127,11 +148,28 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RepStore != "" && c.EstimatorOf != nil {
 		return c, errors.New("market: RepStore and EstimatorOf are mutually exclusive")
 	}
+	switch c.Evidence {
+	case "", trust.EvidenceComplaints, trust.EvidencePosterior:
+	default:
+		return c, fmt.Errorf("market: unknown evidence kind %q (have %s, %s)",
+			c.Evidence, trust.EvidenceComplaints, trust.EvidencePosterior)
+	}
+	if c.Evidence == trust.EvidenceComplaints && c.RepStore == "" {
+		return c, errors.New("market: complaint evidence requires a RepStore backend")
+	}
+	if c.Evidence == trust.EvidencePosterior {
+		if c.RepStore != "" {
+			return c, errors.New("market: posterior evidence and RepStore are mutually exclusive (the posterior lives in per-agent estimators, not a complaint store)")
+		}
+		if c.EstimatorOf != nil {
+			return c, errors.New("market: posterior evidence and EstimatorOf are mutually exclusive")
+		}
+	}
 	if err := c.Gossip.Validate(); err != nil {
 		return c, fmt.Errorf("market: %w", err)
 	}
-	if c.GossipNode != nil && c.RepStore == "" {
-		return c, errors.New("market: GossipNode requires a RepStore backend (gossip exchanges complaint evidence)")
+	if c.GossipNode != nil && c.RepStore == "" && c.Evidence != trust.EvidencePosterior {
+		return c, errors.New("market: GossipNode requires a RepStore backend or posterior evidence (gossip needs an evidence kind to exchange)")
 	}
 	if c.Gen.Items == 0 {
 		c.Gen = goods.DefaultGenConfig()

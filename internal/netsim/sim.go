@@ -22,46 +22,51 @@ type Time int64
 // Millisecond is the canonical tick interpretation used by the experiments.
 const Millisecond Time = 1
 
-// event is a scheduled callback. seq breaks timestamp ties FIFO so execution
-// order is fully deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// tick is every event scheduled for one timestamp, in schedule (FIFO)
+// order. Batching same-tick deliveries into one bucket is what cuts the
+// event-queue overhead for large Concurrency: the heap is touched once per
+// *timestamp*, not once per event, so a wave of messages landing on the
+// same tick pays one sift-down instead of one each. next is the cursor of
+// the next event to run, so events an executing callback schedules for the
+// same tick (delay 0) append behind the cursor and still run this tick, in
+// schedule order — exactly the (timestamp, seq) order of the per-event
+// heap this replaces.
+type tick struct {
+	at     Time
+	next   int
+	fns    []func()
+	inline [4]func() // backs fns for the common small tick, avoiding a second allocation
 }
 
-type eventHeap []*event
+type tickHeap []*tick
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
+func (h tickHeap) Len() int           { return len(h) }
+func (h tickHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h tickHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tickHeap) Push(x any)        { *h = append(*h, x.(*tick)) }
+func (h *tickHeap) Pop() any {
 	old := *h
 	n := len(old)
-	e := old[n-1]
+	t := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	return e
+	return t
 }
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now     Time
+	ticks   tickHeap
+	byTime  map[Time]*tick // live buckets by timestamp (each at most once)
+	free    []*tick        // retired buckets, capacity kept for reuse
+	pending int
+	rng     *rand.Rand
 }
 
 // NewSimulator returns an empty simulator whose randomness derives entirely
 // from seed.
 func NewSimulator(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{byTime: make(map[Time]*tick), rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -71,26 +76,58 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // Pending reports the number of queued events.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return s.pending }
 
 // Schedule queues fn to run after delay (clamped to ≥ 0) of virtual time.
+// Scheduling onto a timestamp that already has a bucket — the common case
+// for message waves — is one map hit and an append; only the first event of
+// a new timestamp pays a heap push.
 func (s *Simulator) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, fn: fn})
+	at := s.now + delay
+	b := s.byTime[at]
+	if b == nil {
+		if n := len(s.free); n > 0 {
+			b = s.free[n-1]
+			s.free = s.free[:n-1]
+			b.at = at
+		} else {
+			b = &tick{at: at}
+			b.fns = b.inline[:0]
+		}
+		s.byTime[at] = b
+		heap.Push(&s.ticks, b)
+	}
+	b.fns = append(b.fns, fn)
+	s.pending++
 }
 
 // Step runs the next event, advancing the clock to its timestamp. It
-// reports whether an event was run.
+// reports whether an event was run. Execution order is identical to the
+// seed's per-event queue: timestamp order, FIFO within a timestamp.
 func (s *Simulator) Step() bool {
-	if len(s.events) == 0 {
+	if len(s.ticks) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
-	s.now = e.at
-	e.fn()
+	b := s.ticks[0]
+	s.now = b.at
+	fn := b.fns[b.next]
+	b.fns[b.next] = nil
+	b.next++
+	s.pending--
+	fn()
+	// The callback may have appended same-tick events behind the cursor;
+	// only an exhausted bucket retires (one heap pop per timestamp), its
+	// capacity recycled for a future timestamp.
+	if b.next == len(b.fns) {
+		heap.Pop(&s.ticks)
+		delete(s.byTime, b.at)
+		b.next = 0
+		b.fns = b.fns[:0]
+		s.free = append(s.free, b)
+	}
 	return true
 }
 
@@ -111,7 +148,7 @@ func (s *Simulator) Run(maxEvents int) int {
 // to the deadline. It returns the number of events executed.
 func (s *Simulator) RunUntil(deadline Time) int {
 	n := 0
-	for len(s.events) > 0 && s.events[0].at <= deadline {
+	for len(s.ticks) > 0 && s.ticks[0].at <= deadline {
 		s.Step()
 		n++
 	}

@@ -99,6 +99,61 @@ func TestStepOnEmpty(t *testing.T) {
 	}
 }
 
+// TestSameTickBatchingPreservesOrder targets the bucketed tick queue: events
+// landing on one timestamp from interleaved schedules (the same-tick wave
+// the batching coalesces), callbacks appending into their own executing
+// tick, and buckets recycled through the freelist must all execute in
+// exactly the (timestamp, schedule-order) sequence of a per-event queue.
+func TestSameTickBatchingPreservesOrder(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	mark := func(v int) func() { return func() { order = append(order, v) } }
+	// Interleave two ticks so same-tick events are never scheduled
+	// contiguously.
+	s.Schedule(10, mark(1))
+	s.Schedule(20, mark(4))
+	s.Schedule(10, mark(2))
+	s.Schedule(20, mark(5))
+	s.Schedule(10, func() {
+		order = append(order, 3)
+		// Append into the executing tick (runs this tick, after the wave)
+		// and into the later, already-populated tick.
+		s.Schedule(0, mark(100))
+		s.Schedule(10, mark(6))
+	})
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run(0)
+	want := []int{1, 2, 3, 100, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// A second wave after everything drained reuses retired buckets; the
+	// contract must not change.
+	order = nil
+	for i := 0; i < 6; i++ {
+		i := i
+		s.Schedule(Time(5+i%2), func() { order = append(order, i) })
+	}
+	s.Run(0)
+	// Tick now+5 gets 0,2,4; tick now+6 gets 1,3,5.
+	want = []int{0, 2, 4, 1, 3, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("after reuse: order = %v, want %v", order, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", s.Pending())
+	}
+}
+
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() []Time {
 		s := NewSimulator(99)

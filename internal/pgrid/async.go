@@ -75,6 +75,11 @@ func (a *Async) handle(idx int, msg netsim.Message) {
 	case queryMsg:
 		p := a.grid.peers[idx]
 		if hasPrefix(m.key, p.Path) {
+			// A deferred replica broadcast completes before the replica
+			// answers, exactly like the synchronous query path.
+			if err := a.grid.flushKey(m.key); err != nil {
+				return // dead end: the origin's timeout will fire
+			}
 			vals := cloneValues(p.store[m.key])
 			if p.Malicious {
 				vals = a.grid.cfg.Corrupt(m.key, vals, a.net.Sim().Rand())

@@ -13,13 +13,15 @@ import (
 // backend registry (spec "pgrid", stackable as "async:pgrid"): a balanced
 // grid of BackendConfig.GridPeers storage peers (default 64) built from
 // BackendConfig.Seed, read with BackendConfig.Replicas replica votes.
+// BackendConfig.DeferReplication selects the store-and-forward replica
+// broadcast.
 func init() {
 	complaints.Register("pgrid", func(cfg complaints.BackendConfig) (complaints.Store, error) {
 		peers := cfg.GridPeers
 		if peers <= 0 {
 			peers = 64
 		}
-		g, err := New(Config{Peers: peers, Seed: cfg.Seed})
+		g, err := New(Config{Peers: peers, Seed: cfg.Seed, DeferReplication: cfg.DeferReplication})
 		if err != nil {
 			return nil, fmt.Errorf("pgrid backend: %w", err)
 		}
@@ -41,7 +43,15 @@ type ComplaintStore struct {
 var (
 	_ complaints.Store      = (*ComplaintStore)(nil)
 	_ complaints.BatchFiler = (*ComplaintStore)(nil)
+	_ complaints.Flusher    = (*ComplaintStore)(nil)
 )
+
+// Flush implements complaints.Flusher: it completes any deferred replica
+// broadcasts (Config.DeferReplication), so end-of-run settlement leaves
+// every replica holding the full record. Reads flush their own key anyway;
+// this is for callers that settle a store wholesale (market.Engine's
+// FinishRun, the write-behind drain). A no-op on an eager grid.
+func (s *ComplaintStore) Flush() error { return s.Grid.FlushReplication() }
 
 func (s *ComplaintStore) replicas() int {
 	if s.Replicas <= 0 {

@@ -70,6 +70,15 @@ type Config struct {
 	Seed int64
 	// Corrupt is how malicious peers distort answers; nil means CorruptHide.
 	Corrupt CorruptFunc
+	// DeferReplication switches the replica-group write from the eager
+	// per-write fan-out (every insert appends at every replica immediately)
+	// to store-and-forward: an insert routes once and buffers its values
+	// per key, and the whole buffered group lands at every replica in one
+	// pass when the key is next read (or on FlushReplication) — the
+	// replica broadcast amortised the way InsertBatch amortised the
+	// routing walk. Reads remain exact: every query path flushes its key
+	// first.
+	DeferReplication bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -119,6 +128,12 @@ type Grid struct {
 	cfg   Config
 	peers []*Peer
 	rng   *rand.Rand
+
+	// store-and-forward state (Config.DeferReplication): values routed but
+	// not yet broadcast to their replica groups, per key, plus the keys in
+	// first-buffer order for a deterministic full flush.
+	pendingRepl  map[string][]string
+	pendingOrder []string
 
 	// message accounting for the experiments
 	routeHops   int
@@ -238,6 +253,12 @@ func (g *Grid) RouteStats() (routes int, meanHops float64) {
 	}
 	return g.routeCount, float64(g.routeHops) / float64(g.routeCount)
 }
+
+// StoreWrites reports the cumulative (value, replica) writes applied to
+// peer stores — the quantity the deferred replica broadcast defers: with
+// DeferReplication it stays at 0 until a read or FlushReplication lands the
+// buffered groups.
+func (g *Grid) StoreWrites() int { return g.storeWrites }
 
 func bitString(v, width int) string {
 	var sb strings.Builder

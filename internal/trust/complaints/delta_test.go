@@ -1,0 +1,75 @@
+package complaints
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"trustcoop/internal/trust"
+)
+
+// TestComplaintDeltaRoundTrip: the complaint kind is registered, its codec
+// is the identity — including separator-hostile and empty peer IDs — and
+// the encoded size matches the wire estimate the gossip accounting has
+// always used (len(From) + len(About) + 2 for short IDs).
+func TestComplaintDeltaRoundTrip(t *testing.T) {
+	batch := []Complaint{
+		{From: "alice", About: "bob"},
+		{From: "p:0>x", About: ""},
+		{From: "", About: "p:1>y"},
+		{From: "dup", About: "dup"},
+	}
+	d := NewDelta(batch)
+	if d.Kind() != trust.EvidenceComplaints || d.Items() != len(batch) {
+		t.Fatalf("delta shape: kind %s items %d", d.Kind(), d.Items())
+	}
+	wire := 0
+	for _, c := range batch {
+		wire += len(c.From) + len(c.About) + 2
+	}
+	enc := d.Encode()
+	if len(enc) != wire || d.EncodedSize() != wire {
+		t.Errorf("encoded %d bytes (EncodedSize %d), wire estimate %d", len(enc), d.EncodedSize(), wire)
+	}
+	got, err := trust.DecodeEvidence(trust.EvidenceComplaints, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.(*Delta).Complaints, batch) {
+		t.Errorf("round trip: %+v != %+v", got, batch)
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Error("re-encode differs")
+	}
+}
+
+// TestComplaintDeltaDecodeRejectsTruncation: hostile bytes error, never
+// panic or silently drop a record.
+func TestComplaintDeltaDecodeRejectsTruncation(t *testing.T) {
+	valid := NewDelta([]Complaint{{From: "ab", About: "cd"}}).Encode()
+	for _, data := range [][]byte{
+		valid[:1], valid[:3], valid[:len(valid)-1],
+		{0xff}, {0x05, 'a'},
+	} {
+		if _, err := trust.DecodeEvidence(trust.EvidenceComplaints, data); err == nil {
+			t.Errorf("truncated delta %x decoded", data)
+		}
+	}
+}
+
+// TestComplaintDeltaMergeConcatsInOrder: merge is concatenation (counters
+// commute), preserving filing order, and rejects foreign kinds.
+func TestComplaintDeltaMergeConcatsInOrder(t *testing.T) {
+	a := NewDelta([]Complaint{{From: "a", About: "b"}})
+	b := NewDelta([]Complaint{{From: "c", About: "d"}, {From: "e", About: "f"}})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []Complaint{{From: "a", About: "b"}, {From: "c", About: "d"}, {From: "e", About: "f"}}
+	if !reflect.DeepEqual(a.Complaints, want) {
+		t.Errorf("merged = %+v", a.Complaints)
+	}
+	if err := a.Merge(trust.NewPosteriorDelta(1, nil)); err == nil {
+		t.Error("cross-kind merge accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package trust
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randRows(rng *rand.Rand, n int) []PosteriorRow {
+	rows := make([]PosteriorRow, n)
+	for i := range rows {
+		rows[i] = PosteriorRow{
+			Observer: PeerID(fmt.Sprintf("o%d", rng.Intn(5))),
+			Subject:  PeerID(fmt.Sprintf("s%d", rng.Intn(7))),
+			Coop:     float64(rng.Intn(20)),
+			Defect:   float64(rng.Intn(20)) / 4,
+			Obs:      uint64(1 + rng.Intn(4)),
+		}
+	}
+	return rows
+}
+
+// TestPosteriorDeltaRoundTrip: Decode∘Encode is the identity on canonical
+// deltas, for decays at and below 1.
+func TestPosteriorDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, decay := range []float64{1, 0.95, 0.5} {
+		d := NewPosteriorDelta(decay, randRows(rng, 12))
+		enc := d.Encode()
+		if len(enc) != d.EncodedSize() {
+			t.Fatalf("EncodedSize %d != len(Encode) %d", d.EncodedSize(), len(enc))
+		}
+		got, err := DecodeEvidence(EvidencePosterior, enc)
+		if err != nil {
+			t.Fatalf("decay %v: %v", decay, err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("decay %v: round trip diverged:\n%+v\nvs\n%+v", decay, got, d)
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Errorf("decay %v: re-encode differs", decay)
+		}
+	}
+}
+
+// TestPosteriorDeltaDecodeRejectsMalformed: hostile bytes error out instead
+// of panicking or decoding into a non-canonical delta.
+func TestPosteriorDeltaDecodeRejectsMalformed(t *testing.T) {
+	valid := NewPosteriorDelta(1, []PosteriorRow{
+		{Observer: "a", Subject: "b", Coop: 1, Obs: 1},
+		{Observer: "a", Subject: "c", Defect: 2, Obs: 2},
+	}).Encode()
+	cases := map[string][]byte{
+		"empty":           {},
+		"short decay":     valid[:4],
+		"truncated rows":  valid[:len(valid)-3],
+		"trailing bytes":  append(append([]byte{}, valid...), 0xff),
+		"nan decay":       append(bytesOfFloat(math.NaN()), valid[8:]...),
+		"zero decay":      append(bytesOfFloat(0), valid[8:]...),
+		"decay above one": append(bytesOfFloat(1.5), valid[8:]...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeEvidence(EvidencePosterior, data); err == nil {
+			t.Errorf("%s: malformed delta decoded", name)
+		}
+	}
+	// Unsorted rows must be rejected — a canonical decode is what makes
+	// Decode∘Encode an identity under fuzzing.
+	unsorted := &PosteriorDelta{Decay: 1, Rows: []PosteriorRow{
+		{Observer: "b", Subject: "b", Coop: 1, Obs: 1},
+		{Observer: "a", Subject: "c", Coop: 1, Obs: 1},
+	}}
+	if _, err := DecodeEvidence(EvidencePosterior, unsorted.Encode()); err == nil {
+		t.Error("unsorted rows decoded")
+	}
+}
+
+func bytesOfFloat(f float64) []byte {
+	d := PosteriorDelta{Decay: f}
+	return d.Encode()[:8]
+}
+
+// TestPosteriorMergeAssociative is the Merge contract: (a⊕b)⊕c equals
+// a⊕(b⊕c), so a transport may coalesce at any hop — byte-for-byte without
+// forgetting (decay 1, where the masses here are dyadic and float addition
+// of them is exact), and up to floating-point rounding of the decay powers
+// otherwise.
+func TestPosteriorMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, decay := range []float64{1, 0.9} {
+		for trial := 0; trial < 20; trial++ {
+			mk := func() *PosteriorDelta { return NewPosteriorDelta(decay, randRows(rng, 1+rng.Intn(6))) }
+			a1, b1, c1 := mk(), mk(), mk()
+			a2 := clonePosterior(a1)
+			b2 := clonePosterior(b1)
+			// left: (a⊕b)⊕c
+			if err := a1.Merge(b1); err != nil {
+				t.Fatal(err)
+			}
+			if err := a1.Merge(c1); err != nil {
+				t.Fatal(err)
+			}
+			// right: a⊕(b⊕c)
+			if err := b2.Merge(c1); err != nil {
+				t.Fatal(err)
+			}
+			if err := a2.Merge(b2); err != nil {
+				t.Fatal(err)
+			}
+			if decay == 1 {
+				if !bytes.Equal(a1.Encode(), a2.Encode()) {
+					t.Fatalf("decay 1 trial %d: merge not byte-associative:\n%+v\nvs\n%+v", trial, a1, a2)
+				}
+				continue
+			}
+			if len(a1.Rows) != len(a2.Rows) {
+				t.Fatalf("decay %v trial %d: row counts %d vs %d", decay, trial, len(a1.Rows), len(a2.Rows))
+			}
+			for i := range a1.Rows {
+				l, r := a1.Rows[i], a2.Rows[i]
+				if l.Observer != r.Observer || l.Subject != r.Subject || l.Obs != r.Obs ||
+					math.Abs(l.Coop-r.Coop) > 1e-9 || math.Abs(l.Defect-r.Defect) > 1e-9 {
+					t.Fatalf("decay %v trial %d row %d: %+v vs %+v", decay, trial, i, l, r)
+				}
+			}
+		}
+	}
+}
+
+func clonePosterior(d *PosteriorDelta) *PosteriorDelta {
+	rows := make([]PosteriorRow, len(d.Rows))
+	copy(rows, d.Rows)
+	return &PosteriorDelta{Decay: d.Decay, Rows: rows}
+}
+
+// TestPosteriorMergeEqualsSequentialApply: applying a then b to an estimator
+// leaves exactly the counts applying a⊕b leaves — the semantics Merge's
+// decay compensation exists to preserve. (Single-observer deltas: a Beta is
+// one observer's table, and routing rows to observers is the caller's job.)
+func TestPosteriorMergeEqualsSequentialApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	oneObserver := func(n int) []PosteriorRow {
+		rows := randRows(rng, n)
+		for i := range rows {
+			rows[i].Observer = "me"
+		}
+		return rows
+	}
+	for _, decay := range []float64{1, 0.8} {
+		a := NewPosteriorDelta(decay, oneObserver(8))
+		b := NewPosteriorDelta(decay, oneObserver(8))
+
+		seq := NewBeta(BetaConfig{Decay: decay})
+		if err := seq.ApplyDelta(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.ApplyDelta(b); err != nil {
+			t.Fatal(err)
+		}
+
+		merged := clonePosterior(a)
+		if err := merged.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		one := NewBeta(BetaConfig{Decay: decay})
+		if err := one.ApplyDelta(merged); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, p := range seq.Peers() {
+			sc, sd := seq.Counts(p)
+			oc, od := one.Counts(p)
+			if math.Abs(sc-oc) > 1e-12 || math.Abs(sd-od) > 1e-12 {
+				t.Errorf("decay %v peer %s: sequential (%v,%v) vs merged (%v,%v)", decay, p, sc, sd, oc, od)
+			}
+		}
+	}
+}
+
+// TestBetaExportApplyMirrorsRecords: a remote estimator that applies every
+// export ends with exactly the counts the exporter holds — for any decay,
+// when exports are taken after every record (the period-1 construction).
+func TestBetaExportApplyMirrorsRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, decay := range []float64{1, 0.9, 0.5} {
+		src := NewBeta(BetaConfig{Decay: decay})
+		dst := NewBeta(BetaConfig{Decay: decay})
+		for i := 0; i < 200; i++ {
+			p := PeerID(fmt.Sprintf("p%d", rng.Intn(6)))
+			src.Record(p, Outcome{Cooperated: rng.Intn(2) == 0})
+			if err := dst.ApplyDelta(src.ExportDelta("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range src.Peers() {
+			sc, sd := src.Counts(p)
+			dc, dd := dst.Counts(p)
+			if sc != dc || sd != dd {
+				t.Errorf("decay %v peer %s: src (%v,%v) vs mirrored (%v,%v)", decay, p, sc, sd, dc, dd)
+			}
+		}
+	}
+}
+
+// TestBetaExportDrains: a second export with no new records is empty, and
+// exported evidence stays in the estimator's own counts.
+func TestBetaExportDrains(t *testing.T) {
+	b := NewBeta(BetaConfig{})
+	b.Record("p", Outcome{Cooperated: true})
+	d := b.ExportDelta("me")
+	if d == nil || len(d.Rows) != 1 || d.Rows[0].Observer != "me" || d.Rows[0].Subject != "p" {
+		t.Fatalf("export = %+v", d)
+	}
+	if again := b.ExportDelta("me"); again != nil {
+		t.Errorf("second export not empty: %+v", again)
+	}
+	if coop, _ := b.Counts("p"); coop != 1 {
+		t.Errorf("export removed local evidence: coop = %v", coop)
+	}
+}
+
+// TestBetaApplyDeltaRejectsDecayMismatch: silently mixing forgetting rates
+// would corrupt the posterior.
+func TestBetaApplyDeltaRejectsDecayMismatch(t *testing.T) {
+	b := NewBeta(BetaConfig{Decay: 0.9})
+	d := NewPosteriorDelta(1, []PosteriorRow{{Observer: "a", Subject: "b", Coop: 1, Obs: 1}})
+	if err := b.ApplyDelta(d); err == nil {
+		t.Error("decay mismatch accepted")
+	}
+}
+
+// TestEvidenceKindRegistry: both shipped kinds are registered and unknown
+// kinds fail loudly.
+func TestEvidenceKindRegistry(t *testing.T) {
+	kinds := EvidenceKinds()
+	found := map[EvidenceKind]bool{}
+	for _, k := range kinds {
+		found[k] = true
+	}
+	if !found[EvidencePosterior] {
+		t.Errorf("posterior kind not registered: %v", kinds)
+	}
+	if _, err := DecodeEvidence("no-such-kind", nil); err == nil {
+		t.Error("unknown kind decoded")
+	}
+}

@@ -70,7 +70,7 @@ func FuzzGossipApply(f *testing.F) {
 		}
 		// Spray the batch across the shards, exchanging after every item.
 		for i, c := range batch {
-			if err := fab.Node(i%shards).File(c); err != nil {
+			if err := fab.Node(i % shards).File(c); err != nil {
 				t.Fatal(err)
 			}
 			if err := fab.Exchange(); err != nil {

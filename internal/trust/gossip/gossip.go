@@ -1,28 +1,36 @@
 // Package gossip implements cross-shard evidence exchange for sharded
-// experiment cells: the complaint-gossip subsystem that tunes the
-// *information structure* of a cell split across sub-engines (eval.RunCell).
+// experiment cells: the subsystem that tunes the *information structure* of
+// a cell split across sub-engines (eval.RunCell).
 //
 // PR 3 left a sharded cell as isolated regional marketplaces — each
 // sub-engine learns trust only from its own sessions, the extreme end of the
 // information-structure spectrum the paper's reputation mechanism is
 // sensitive to. Gossip interpolates: each sub-engine attaches a Node to its
-// complaint store, the Node buffers locally filed complaints, and every
-// Period sessions the cell's Fabric ships the buffered batches between
-// shards over a seed-deterministic exchange schedule. The sync period is a
-// measurable staleness knob:
+// trust state, the Node buffers locally recorded evidence, and every Period
+// sessions the cell's Fabric ships it between shards over a
+// seed-deterministic exchange schedule. The sync period is a measurable
+// staleness knob:
 //
 //	isolated shards  ←──  gossip(Period)  ──→  single shared engine
 //	(Period = ∞)        64 … 16 … 4 … 1        (Period → 0 limit)
 //
-// Remote batches land through the complaints.BatchFiler fast path
-// (complaints.FileAll), so foreign evidence costs one lock pass per shard
-// per batch, exactly like the write-behind drain of complaints.AsyncStore.
+// The fabric is evidence-kind agnostic (PR 5): what moves between shards is
+// a trust.EvidenceDelta — a complaint batch (complaints.Delta, applied
+// through the complaints.BatchFiler fast path exactly like the write-behind
+// drain of complaints.AsyncStore) or a Bayesian posterior delta
+// (trust.PosteriorDelta, carried by a Book of per-observer Beta estimators,
+// or by a mui witness network attached as a Carrier). Deltas travel encoded,
+// stamped with a per-origin sequence number, and every receiver keeps a
+// dedup ledger keyed on (origin, seq) — exactly-once delivery is a property
+// of the *receiver*, not of the schedule, which is what makes redundant-path
+// topologies (TopologyDoubleRing) sound.
 //
 // Determinism contract: the Fabric is driven from a single coordinating
 // goroutine (eval.RunCell's lockstep loop) *between* engine windows, its
-// schedules derive from a seed, batches are collected and applied in shard
-// order — so for a fixed (seed, shard count, Config) the exchanged evidence
-// is byte-identical however many sub-engines run concurrently.
+// schedules derive from a seed, deltas are collected and applied in shard
+// order with canonical row order — so for a fixed (seed, shard count,
+// Config) the exchanged evidence is byte-identical however many sub-engines
+// run concurrently.
 package gossip
 
 import (
@@ -46,6 +54,14 @@ const (
 	// after at most shards−1 rounds — minimal per-round traffic, maximal
 	// propagation delay.
 	TopologyRing Topology = "ring"
+	// TopologyDoubleRing relays every envelope both clockwise and
+	// counterclockwise — two redundant paths, so every shard's worst-case
+	// propagation delay halves versus the ring while most shards receive
+	// each envelope twice. The receiver-side dedup ledger drops the second
+	// copy (Stats.DedupDropped), making this the redundancy-tolerance proof
+	// of the evidence plane: exactly-once comes from the receiver, not from
+	// a schedule that never duplicates.
+	TopologyDoubleRing Topology = "ring2"
 )
 
 // Config parameterises a cell's gossip. The zero value disables gossip
@@ -62,8 +78,8 @@ type Config struct {
 	// peers a round's schedule skips never receive that round's batch
 	// (sampled second-hand monitoring, an intermediate information
 	// structure) — the permanently undelivered volume is
-	// Stats.ComplaintsUnscheduled. Ignored by TopologyRing, whose fan-out
-	// is 1 by construction and whose relays deliver to everyone.
+	// Stats.ComplaintsUnscheduled. Ignored by the ring topologies, whose
+	// fan-out is fixed by construction and whose relays deliver to everyone.
 	Fanout int
 }
 
@@ -87,10 +103,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gossip: fanout must be non-negative, have %d", c.Fanout)
 	}
 	switch c.topology() {
-	case TopologyMesh, TopologyRing:
+	case TopologyMesh, TopologyRing, TopologyDoubleRing:
 		return nil
 	default:
-		return fmt.Errorf("gossip: unknown topology %q (have %s, %s)", c.Topology, TopologyMesh, TopologyRing)
+		return fmt.Errorf("gossip: unknown topology %q (have %s, %s, %s)", c.Topology, TopologyMesh, TopologyRing, TopologyDoubleRing)
 	}
 }
 
@@ -146,21 +162,33 @@ func ParseSpec(spec string) (Config, error) {
 type Stats struct {
 	// Rounds counts Exchange calls (including the final flush round).
 	Rounds int64
-	// BatchesDelivered counts (batch, destination shard) deliveries.
+	// BatchesDelivered counts applied (envelope, destination shard)
+	// deliveries — duplicates a redundant path re-delivered are not
+	// included (see DedupDropped).
 	BatchesDelivered int64
-	// ComplaintsDelivered counts complaints applied to remote shards; one
-	// filed complaint delivered to k peers counts k times.
+	// ComplaintsDelivered counts evidence items applied to remote shards —
+	// complaints for the complaint kind, posterior rows for the posterior
+	// kind; one exported item delivered to k peers counts k times. (The
+	// name predates the generalised evidence plane and is kept for
+	// snapshot-to-snapshot comparability.)
 	ComplaintsDelivered int64
-	// ComplaintsUnscheduled counts (complaint, peer) deliveries a
-	// fanout-limited mesh schedule skipped — evidence those peers will
-	// never receive. Always 0 for the full mesh and the ring.
+	// ComplaintsUnscheduled counts (item, peer) deliveries a fanout-limited
+	// mesh schedule skipped — evidence those peers will never receive.
+	// Always 0 for the full mesh and the rings.
 	ComplaintsUnscheduled int64
-	// BytesDelivered estimates the wire traffic of the deliveries using the
-	// repository's complaint encoding size (len(From) + len(About) + 2
-	// framing bytes per complaint).
+	// BytesDelivered is the encoded payload traffic of the applied
+	// deliveries (trust.EvidenceDelta.Encode; for complaint deltas over the
+	// short peer IDs the experiments use this is len(From) + len(About) + 2
+	// per complaint, the estimate older snapshots recorded).
 	BytesDelivered int64
-	// ApplyNs is the wall-clock time spent applying remote batches to the
-	// shards' stores (the complaints.FileAll fast path).
+	// DedupDropped counts deliveries the receiver-side (origin, seq) ledger
+	// dropped as duplicates. Always 0 for mesh and ring, whose schedules
+	// never duplicate; on the double ring it measures the redundancy the
+	// second path carries.
+	DedupDropped int64
+	// ApplyNs is the wall-clock time spent decoding and applying remote
+	// envelopes to the shards' trust state (for complaint deltas, the
+	// complaints.FileAll fast path).
 	ApplyNs int64
 	// Reads counts trust reads served by the fabric's nodes; StaleReads is
 	// the subset served while evidence scheduled for the reading shard had
@@ -170,7 +198,3 @@ type Stats struct {
 	// bench snapshots, not experiment tables.
 	Reads, StaleReads int64
 }
-
-// wireSize is the estimated encoded size of one complaint on the wire,
-// matching the length-prefixed pgrid encoding's order of magnitude.
-func wireSize(fromLen, aboutLen int) int64 { return int64(fromLen + aboutLen + 2) }

@@ -412,6 +412,7 @@ func TestParseSpec(t *testing.T) {
 		{"off", Config{}, true},
 		{"16", Config{Period: 16}, true},
 		{"16:ring", Config{Period: 16, Topology: TopologyRing}, true},
+		{"8:ring2", Config{Period: 8, Topology: TopologyDoubleRing}, true},
 		{"4:mesh:2", Config{Period: 4, Topology: TopologyMesh, Fanout: 2}, true},
 		{"0", Config{}, true},
 		{"-1", Config{}, false},

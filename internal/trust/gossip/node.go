@@ -8,25 +8,51 @@ import (
 	"trustcoop/internal/trust/complaints"
 )
 
-// Node is one shard's endpoint in a cell's exchange fabric: a
-// complaints.Store decorator that the sub-engine uses as its reputation
-// store. Writes pass straight through to the attached inner store (a shard
-// always sees its *own* evidence immediately — gossip only controls how fast
-// it learns about the others') and are additionally buffered in the node's
-// outbox until the next Fabric.Exchange ships them to peer shards. Reads
-// pass through untouched, with staleness accounting against the cell-wide
-// undelivered backlog.
+// Carrier is the evidence-kind-specific half of a node: the local trust
+// state of one shard, able to export what it recorded since the last
+// exchange as a mergeable delta and to fold a peer shard's delta in. The
+// complaint path implements it implicitly (a complaints.Store attachment,
+// see Attach); Book implements it for the Bayesian posterior kind; any
+// estimator that can speak trust.EvidenceDelta — mui.Network does — can
+// attach through AttachCarrier and ride the same fabric.
 //
-// A Node is created by NewFabric and attached to its store by the engine
+// Carriers that bypass the node's write methods must report their locally
+// recorded evidence through Node.NoteRecorded — that is what drives the
+// fabric's staleness accounting and tells Drain when deliveries are still
+// outstanding.
+type Carrier interface {
+	// TakeDelta drains the evidence recorded locally since the last take;
+	// nil means nothing pending.
+	TakeDelta() (trust.EvidenceDelta, error)
+	// ApplyDelta folds a peer shard's delta into the local trust state.
+	ApplyDelta(delta trust.EvidenceDelta) error
+}
+
+// Node is one shard's endpoint in a cell's exchange fabric. It carries
+// evidence of exactly one kind, fixed by what gets attached:
+//
+//   - Attach(store) makes it a complaints.Store decorator — the sub-engine
+//     uses the node as its reputation store, writes pass straight through to
+//     the inner store (a shard always sees its *own* evidence immediately —
+//     gossip only controls how fast it learns about the others') and are
+//     buffered in the node's outbox until the next Fabric.Exchange ships
+//     them as a complaint delta; reads pass through untouched, with
+//     staleness accounting against the cell-wide undelivered backlog.
+//   - AttachBook / AttachCarrier make it a typed-evidence endpoint: the
+//     carrier owns the trust state, the node only moves deltas.
+//
+// A Node is created by NewFabric and attached by the engine
 // (market.Config.GossipNode). It is safe for concurrent use once attached;
 // the Fabric only touches the outbox between engine windows.
 type Node struct {
 	fabric *Fabric
 	index  int
 
-	mu     sync.Mutex
-	inner  complaints.Store
-	outbox []complaints.Complaint
+	mu            sync.Mutex
+	inner         complaints.Store
+	carrier       Carrier
+	outbox        []complaints.Complaint
+	pendingWeight int // evidence items recorded since the last take
 }
 
 var (
@@ -38,30 +64,82 @@ var (
 )
 
 // Attach binds the node to the shard's complaint store. The engine calls it
-// once, before any session runs; re-attaching panics (it would silently
-// split the shard's evidence between two stores).
+// once, before any session runs; re-attaching (or mixing attachment kinds)
+// panics — it would silently split the shard's evidence between two homes.
 func (n *Node) Attach(inner complaints.Store) {
 	if inner == nil {
 		panic("gossip: Attach(nil store)")
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.inner != nil {
+	if n.inner != nil || n.carrier != nil {
 		panic(fmt.Sprintf("gossip: node %d attached twice", n.index))
 	}
 	n.inner = inner
 }
 
+// AttachCarrier binds the node to a typed evidence carrier — the shard's
+// trust state for a non-complaint evidence kind. Same contract as Attach:
+// once, before any session runs.
+func (n *Node) AttachCarrier(c Carrier) {
+	if c == nil {
+		panic("gossip: AttachCarrier(nil)")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inner != nil || n.carrier != nil {
+		panic(fmt.Sprintf("gossip: node %d attached twice", n.index))
+	}
+	n.carrier = c
+}
+
+// AttachBook creates the shard's posterior-evidence book — per-observer
+// Beta estimators whose recorded outcomes gossip as posterior deltas — and
+// attaches it as the node's carrier.
+func (n *Node) AttachBook(cfg trust.BetaConfig) *Book {
+	b := newBook(n, cfg)
+	n.AttachCarrier(b)
+	return b
+}
+
 // Index reports the node's shard index within its fabric.
 func (n *Node) Index() int { return n.index }
 
-// store returns the attached inner store, panicking on use-before-Attach —
-// a programmer error (the engine attaches at construction).
+// NoteRecorded informs the fabric that the carrier recorded items pieces of
+// local evidence: every peer shard now has evidence it has not seen, which
+// is the quantity stale-read accounting and Fabric.Drain are defined over.
+// The complaint path calls it internally from File/FileBatch; Book calls it
+// per recorded outcome; external carriers must call it themselves.
+func (n *Node) NoteRecorded(items int) {
+	if items <= 0 {
+		return
+	}
+	n.mu.Lock()
+	n.pendingWeight += items
+	n.mu.Unlock()
+	n.fabric.noteFiled(n.index, items)
+}
+
+// NoteReads records trust reads served by the carrier at this shard, for
+// the fabric's stale-read accounting. The complaint path calls it
+// internally from the read methods; Book calls it per estimate.
+func (n *Node) NoteReads(reads int) {
+	if reads > 0 {
+		n.fabric.noteReads(n.index, reads)
+	}
+}
+
+// store returns the attached inner store, panicking on use-before-Attach or
+// on a store call against a typed-carrier node — programmer errors (the
+// engine attaches at construction and owns the evidence kind).
 func (n *Node) store() complaints.Store {
 	n.mu.Lock()
-	inner := n.inner
+	inner, carrier := n.inner, n.carrier
 	n.mu.Unlock()
 	if inner == nil {
+		if carrier != nil {
+			panic(fmt.Sprintf("gossip: node %d carries typed evidence, not a complaint store", n.index))
+		}
 		panic(fmt.Sprintf("gossip: node %d used before Attach", n.index))
 	}
 	return inner
@@ -73,6 +151,7 @@ func (n *Node) File(c complaints.Complaint) error {
 	inner := n.store()
 	n.mu.Lock()
 	n.outbox = append(n.outbox, c)
+	n.pendingWeight++
 	n.mu.Unlock()
 	n.fabric.noteFiled(n.index, 1)
 	return inner.File(c)
@@ -87,29 +166,60 @@ func (n *Node) FileBatch(batch []complaints.Complaint) error {
 	inner := n.store()
 	n.mu.Lock()
 	n.outbox = append(n.outbox, batch...)
+	n.pendingWeight += len(batch)
 	n.mu.Unlock()
 	n.fabric.noteFiled(n.index, len(batch))
 	return complaints.FileAll(inner, batch)
 }
 
-// takeOutbox drains the buffered local complaints; called by the Fabric
+// takeDelta drains the evidence recorded since the last take — the outbox
+// wrapped as a complaint delta, or whatever the carrier exports — along
+// with its recorded-item weight (the unit the fabric's staleness ledger
+// counts in; for complaints weight equals the delta's Items, for richer
+// kinds several records may coalesce into fewer rows). Called by the Fabric
 // between engine windows.
-func (n *Node) takeOutbox() []complaints.Complaint {
+func (n *Node) takeDelta() (delta trust.EvidenceDelta, weight int, err error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := n.outbox
-	n.outbox = nil
-	return out
+	carrier := n.carrier
+	weight = n.pendingWeight
+	n.pendingWeight = 0
+	var out []complaints.Complaint
+	if carrier == nil {
+		out = n.outbox
+		n.outbox = nil
+	}
+	n.mu.Unlock()
+	if carrier != nil {
+		delta, err = carrier.TakeDelta()
+		return delta, weight, err
+	}
+	if len(out) == 0 {
+		return nil, weight, nil
+	}
+	return complaints.NewDelta(out), weight, nil
 }
 
-// applyRemote lands a peer shard's batch on the local store through the
-// batched fast path — one lock pass per shard of a striped store, exactly
-// like the async drain. Remote evidence is *not* re-buffered into the
-// outbox; the Fabric's schedule (direct mesh delivery, origin-tagged ring
-// relays) owns propagation, which is what keeps every complaint's delivery
-// count deterministic.
-func (n *Node) applyRemote(batch []complaints.Complaint) error {
-	return complaints.FileAll(n.store(), batch)
+// applyDelta lands a peer shard's delta on the local trust state: complaint
+// deltas go through the store's batched fast path — one lock pass per shard
+// of a striped store, exactly like the async drain — and typed deltas go to
+// the carrier. Remote evidence is *not* re-buffered for export; the
+// Fabric's schedule owns propagation, and the receiver-side dedup ledger is
+// what keeps each delta's effect exactly-once however many paths deliver it.
+func (n *Node) applyDelta(delta trust.EvidenceDelta) error {
+	n.mu.Lock()
+	inner, carrier := n.inner, n.carrier
+	n.mu.Unlock()
+	if carrier != nil {
+		return carrier.ApplyDelta(delta)
+	}
+	if inner == nil {
+		panic(fmt.Sprintf("gossip: node %d used before Attach", n.index))
+	}
+	cd, ok := delta.(*complaints.Delta)
+	if !ok {
+		return fmt.Errorf("gossip: node %d holds a complaint store but received a %s delta", n.index, delta.Kind())
+	}
+	return complaints.FileAll(inner, cd.Complaints)
 }
 
 // Received implements complaints.Store.
@@ -160,9 +270,12 @@ func (n *Node) Flush() error {
 
 // Close settles the inner store: Close when it is closable, Flush when it is
 // only write-behind. Reads stay valid afterwards (the inner stores'
-// contract), which post-run assessment relies on.
+// contract), which post-run assessment relies on. Typed-carrier nodes have
+// nothing to settle.
 func (n *Node) Close() error {
-	inner := n.store()
+	n.mu.Lock()
+	inner := n.inner
+	n.mu.Unlock()
 	switch s := inner.(type) {
 	case interface{ Close() error }:
 		return s.Close()

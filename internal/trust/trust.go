@@ -8,6 +8,7 @@
 package trust
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -135,6 +136,13 @@ type Beta struct {
 
 type betaCounts struct {
 	coop, defect float64 // evidence beyond the prior
+	// pending delta accumulator: the share of coop/defect recorded since the
+	// last ExportDelta (decaying in step with the main counts, so an export
+	// carries exactly the not-yet-shared mass at export time) and the number
+	// of observations behind it. Remote evidence applied through ApplyDelta
+	// never enters the accumulator — the transport owns propagation.
+	pendCoop, pendDefect float64
+	pendObs              uint64
 }
 
 // NewBeta returns a Beta estimator with the given configuration.
@@ -159,12 +167,82 @@ func (b *Beta) Record(peer PeerID, o Outcome) {
 	if d := b.cfg.Decay; d < 1 {
 		c.coop *= d
 		c.defect *= d
+		c.pendCoop *= d
+		c.pendDefect *= d
 	}
 	if o.Cooperated {
 		c.coop += o.weight()
+		c.pendCoop += o.weight()
 	} else {
 		c.defect += o.weight()
+		c.pendDefect += o.weight()
 	}
+	c.pendObs++
+}
+
+// ExportDelta drains the evidence recorded since the last export into a
+// posterior delta whose rows carry the given observer identity: per subject
+// the pending (already-decayed) cooperation/defection mass and its
+// observation count. Subjects appear in sorted order — the canonical row
+// order — and the pending accumulators reset, so consecutive exports
+// partition the estimator's evidence stream. Returns nil when nothing is
+// pending.
+func (b *Beta) ExportDelta(observer PeerID) *PosteriorDelta {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var subjects []PeerID
+	for p, c := range b.counts {
+		if c.pendObs > 0 {
+			subjects = append(subjects, p)
+		}
+	}
+	if len(subjects) == 0 {
+		return nil
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	rows := make([]PosteriorRow, 0, len(subjects))
+	for _, p := range subjects {
+		c := b.counts[p]
+		rows = append(rows, PosteriorRow{
+			Observer: observer,
+			Subject:  p,
+			Coop:     c.pendCoop,
+			Defect:   c.pendDefect,
+			Obs:      c.pendObs,
+		})
+		c.pendCoop, c.pendDefect, c.pendObs = 0, 0, 0
+	}
+	return &PosteriorDelta{Decay: b.cfg.Decay, Rows: rows}
+}
+
+// ApplyDelta folds a peer's exported posterior delta into this estimator:
+// for every row, the existing counts for the row's subject decay once per
+// remote observation (exactly the decay those observations would have
+// applied had they been recorded here) before the row's mass adds. Rows
+// apply by Subject; the Observer tag is routing information for the caller
+// (gossip.Book, mui.Network) and is not consulted here. Applied evidence
+// does not re-enter the pending accumulator. The delta's decay must match
+// the estimator's.
+func (b *Beta) ApplyDelta(d *PosteriorDelta) error {
+	if d == nil || len(d.Rows) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d.Decay != b.cfg.Decay {
+		return fmt.Errorf("trust: posterior delta decay %v does not match estimator decay %v", d.Decay, b.cfg.Decay)
+	}
+	for _, r := range d.Rows {
+		c := b.counts[r.Subject]
+		if c == nil {
+			c = &betaCounts{}
+			b.counts[r.Subject] = c
+		}
+		f := decayFactor(d.Decay, r.Obs)
+		c.coop = c.coop*f + r.Coop
+		c.defect = c.defect*f + r.Defect
+	}
+	return nil
 }
 
 // Estimate implements Estimator.
