@@ -1,0 +1,80 @@
+package trustcoop
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// parallelSpeedupFields are the artifact fields that measure CPU parallelism:
+// serial wall clock over the widest worker/engine pool's. On a host with one
+// CPU there is no parallelism to win, so a value above 1.0 can only be noise
+// or a broken measurement loop — cmd/bench pins these to exactly 1.0 there.
+// Algorithmic ratios (speedup_batch_vs_single, speedup_vs_memory) legitimately
+// exceed 1.0 on any host — they compare code paths, not core counts — and are
+// deliberately absent here.
+var parallelSpeedupFields = map[string]bool{
+	"speedup_numcpu_vs_1": true,
+	"speedup_vs_1_engine": true,
+}
+
+// TestBenchArtifactsNoPhantomParallelSpeedup walks every committed
+// BENCH_PR*.json and fails if an artifact generated on a 1-CPU host claims a
+// parallel speedup above 1.0. Such a claim has twice almost slipped into a
+// perf PR's headline numbers from a worker pool warming caches for the
+// "parallel" rep; this pins the invariant so CI catches the next one.
+func TestBenchArtifactsNoPhantomParallelSpeedup(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_PR*.json artifacts found; run from the repo root")
+	}
+	const tolerance = 1.0 + 1e-9
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact map[string]any
+		if err := json.Unmarshal(data, &artifact); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		numCPU, ok := artifact["num_cpu"].(float64)
+		if !ok {
+			t.Errorf("%s: missing num_cpu field", path)
+			continue
+		}
+		if int(numCPU) != 1 {
+			continue // real parallelism available; speedups above 1.0 are the point
+		}
+		walkSpeedups(artifact, path, func(fieldPath string, v float64) {
+			if v > tolerance {
+				t.Errorf("%s: %s = %v on a 1-CPU host; parallel speedup above 1.0 is phantom", path, fieldPath, v)
+			}
+		})
+	}
+}
+
+// walkSpeedups visits every parallel-speedup field in a decoded JSON tree.
+func walkSpeedups(node any, path string, visit func(fieldPath string, v float64)) {
+	switch n := node.(type) {
+	case map[string]any:
+		for k, v := range n {
+			p := path + "." + k
+			if parallelSpeedupFields[k] {
+				if f, ok := v.(float64); ok {
+					visit(p, f)
+				}
+			}
+			walkSpeedups(v, p, visit)
+		}
+	case []any:
+		for i, v := range n {
+			walkSpeedups(v, fmt.Sprintf("%s[%d]", path, i), visit)
+		}
+	}
+}

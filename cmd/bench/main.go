@@ -187,12 +187,36 @@ type report struct {
 	Experiments   []experimentReport  `json:"experiments"`
 	Schedule      []scheduleReport    `json:"schedule_fast_path"`
 	Engine        []engineReport      `json:"engine_sessions"`
-	Netsim        []netsimReport      `json:"netsim_tick_batching"`
+	Netsim        []netsimReport      `json:"netsim_timer_wheel"`
+	Scale         []scaleRun          `json:"scale,omitempty"`
 	Stores        []storeReport       `json:"store_contention"`
 	CellSharding  cellShardingReport  `json:"cell_sharding"`
 	Gossip        gossipReport        `json:"gossip"`
 	EvidencePlane evidencePlaneReport `json:"evidence_plane"`
 	Notes         string              `json:"notes"`
+}
+
+// scaleRun is one row of the scale section: a single marketplace engine at
+// a growing population, measuring event throughput on the organic workload
+// (jittered latencies spread timestamps — the shape the timer wheel exists
+// for) and the per-agent memory footprint.
+type scaleRun struct {
+	Agents      int `json:"agents"`
+	Sessions    int `json:"sessions"`
+	Concurrency int `json:"concurrency"`
+	// Events is the number of simulator events the run executed; Seconds is
+	// the engine run's wall clock (construction excluded).
+	Events       int64   `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	// EngineHeapBytes is the live-heap growth from building the population
+	// and engine (measured between forced GCs); BytesPerAgent amortises it.
+	EngineHeapBytes uint64  `json:"engine_heap_bytes"`
+	BytesPerAgent   float64 `json:"bytes_per_agent"`
+	// PeakHeapBytes is HeapInuse after the run, before any GC — the
+	// high-water working set the run actually touched.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 type netsimReport struct {
@@ -224,6 +248,8 @@ func run(args []string) error {
 		"fabric shape for the gossip benchmark section, spec PERIOD[:TOPOLOGY[:FANOUT]] (e.g. 0:mesh, 0:ring, 0:ring2, 0:mesh:2); the section always sweeps the standard periods, and a non-zero PERIOD is added to the sweep")
 	evidence := fs.String("evidence", "complaints,posterior",
 		"comma-separated evidence kinds for the evidence_plane benchmark section")
+	scale := fs.Bool("scale", false,
+		"run the scale section: one marketplace engine at 1e4/1e5/1e6 agents (slow; needs ~1.5 GB at the top size)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -275,10 +301,22 @@ func run(args []string) error {
 			"across concurrent engines, so it lives here and not in the E11 " +
 			"table); complaints_unscheduled counts deliveries a fanout-limited " +
 			"mesh permanently skipped (0 for full mesh and ring); " +
-			"netsim_tick_batching times the simulator's bucketed event queue " +
-			"(PR 5) on its best shape (64 same-tick events per timestamp, one " +
-			"heap op per tick) and its worst (fully spread timestamps, where " +
-			"the per-tick bucket and map churn are pure overhead); " +
+			"netsim_timer_wheel times the simulator's hierarchical timer wheel " +
+			"(PR 6; replaced the PR 5 bucketed heap) on the same-tick shape " +
+			"(64 events per timestamp, served by the draining-slot fast path) " +
+			"and the spread shape (one event per tick — the shape the wheel's " +
+			"O(1) slot indexing wins over a heap's O(log n) sift); committed " +
+			"BENCH_PR<n>.json snapshots come from whatever host state CI had, " +
+			"so cross-PR comparisons should re-measure both trees on one host; " +
+			"scale (present when bench ran with -scale) runs one marketplace " +
+			"engine at 1e4/1e5/1e6 agents with a fixed session count: " +
+			"events_per_sec/ns_per_event track throughput as the population " +
+			"grows (pairing, routing and estimator access are O(1) in the " +
+			"population, so they should barely move), engine_heap_bytes and " +
+			"bytes_per_agent are the live-heap cost of the built population " +
+			"plus engine index (forced-GC delta; estimators are lazy so idle " +
+			"agents stay cheap), and peak_heap_bytes is HeapInuse right after " +
+			"the run, before any GC; " +
 			"evidence_plane measures the generalized evidence plane per kind: " +
 			"64-item delta codec and associative-merge micro-costs, one " +
 			"sharded x4 cell's delta traffic at period 4 over the full mesh, " +
@@ -287,7 +325,11 @@ func run(args []string) error {
 			"receiver-side (origin, seq) ledger dropped (~0.5 by construction: " +
 			"two paths, one survivor); the filebatch pgrid-deferred row runs " +
 			"DeferReplication (store-and-forward replica broadcast) on the " +
-			"pgrid stream",
+			"pgrid stream, and pgrid-deferred32 the same on a 32-peer grid " +
+			"(depth 4, below the adaptive grouping threshold: FileBatch files " +
+			"per complaint there, so its speedup_batch_vs_single is ~1.0 by " +
+			"design — the grouped map would cost more than the shallow walks " +
+			"it saves)",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -393,6 +435,13 @@ func run(args []string) error {
 	rep.EvidencePlane = ep
 
 	rep.Netsim = benchNetsim(*reps)
+
+	if *scale {
+		rep.Scale, err = benchScale(*seed)
+		if err != nil {
+			return err
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -660,12 +709,86 @@ func benchEvidencePlane(seed int64, quick bool, kinds []string) (evidencePlaneRe
 	return ep, nil
 }
 
+// benchScale runs one marketplace engine at growing populations — the
+// million-agent scale path the timer wheel (PR 6) exists for. The session
+// count is fixed, so the rows isolate how population size alone moves event
+// throughput (it should barely move: pairing, routing and estimator access
+// are all O(1) in the population) and what each agent costs in resident
+// memory (population + engine index; estimators are lazy, so mostly-idle
+// agents stay cheap).
+func benchScale(seed int64) ([]scaleRun, error) {
+	const sessions = 20_000
+	const concurrency = 256
+	var out []scaleRun
+	for _, agents := range []int{10_000, 100_000, 1_000_000} {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		pop, err := agent.NewPopulation(agent.PopConfig{
+			Honest:      agents - agents/5,
+			Opportunist: agents / 5,
+		}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := market.NewEngine(market.Config{
+			Seed:        seed,
+			Sessions:    sessions,
+			Agents:      pop,
+			Concurrency: concurrency,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		var built runtime.MemStats
+		runtime.ReadMemStats(&built)
+
+		start := time.Now()
+		if _, err := eng.Run(); err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		var after runtime.MemStats // deliberately before any GC: high-water
+		runtime.ReadMemStats(&after)
+
+		events := eng.EventsExecuted()
+		row := scaleRun{
+			Agents:          agents,
+			Sessions:        sessions,
+			Concurrency:     concurrency,
+			Events:          events,
+			Seconds:         secs,
+			EngineHeapBytes: built.HeapAlloc - before.HeapAlloc,
+			PeakHeapBytes:   after.HeapInuse,
+		}
+		row.BytesPerAgent = float64(row.EngineHeapBytes) / float64(agents)
+		if events > 0 {
+			row.EventsPerSec = float64(events) / secs
+			row.NsPerEvent = secs * 1e9 / float64(events)
+		}
+		out = append(out, row)
+		fmt.Fprintf(os.Stderr, "scale %d agents: %d events in %.2fs (%.0f events/s, %.1f ns/event), %.1f bytes/agent, peak heap %d MB\n",
+			agents, events, secs, row.EventsPerSec, row.NsPerEvent, row.BytesPerAgent, after.HeapInuse>>20)
+	}
+	return out, nil
+}
+
 // benchNetsim measures the simulator's event loop on the two shapes the
-// same-tick batching (PR 5) distinguishes: many deliveries sharing a
-// timestamp (the large-Concurrency engine profile) versus fully spread
-// timestamps (the control where batching must not hurt).
+// tick-level batching distinguishes: many deliveries sharing a timestamp
+// (the large-Concurrency engine profile) versus fully spread timestamps.
+// Since PR 6 the queue is the hierarchical timer wheel, whose point is the
+// spread shape; the same-tick shape rides the draining-slot fast path and
+// must not regress against the PR 5 bucketed queue.
 func benchNetsim(reps int) []netsimReport {
 	const events = 4096
+	// A rep is ~200µs, far too short for best-of-3 on a noisy shared host, so
+	// this section always takes at least best-of-10 and burns one untimed
+	// warm-up rep (allocator spans and wheel pages cold on the first pass).
+	if reps < 10 {
+		reps = 10
+	}
 	shapes := []struct {
 		name  string
 		ticks int
@@ -676,7 +799,7 @@ func benchNetsim(reps int) []netsimReport {
 	var out []netsimReport
 	for _, shape := range shapes {
 		best := time.Duration(0)
-		for r := 0; r < reps; r++ {
+		for r := -1; r < reps; r++ {
 			start := time.Now()
 			s := netsim.NewSimulator(1)
 			for e := 0; e < events; e++ {
@@ -685,7 +808,7 @@ func benchNetsim(reps int) []netsimReport {
 			if n := s.Run(0); n != events {
 				panic("netsim bench lost events")
 			}
-			if d := time.Since(start); best == 0 || d < best {
+			if d := time.Since(start); r >= 0 && (best == 0 || d < best) {
 				best = d
 			}
 		}
@@ -720,17 +843,23 @@ func benchFileBatch(quick bool, reps int) ([]batchFileRun, error) {
 		stream[i] = complaints.Complaint{From: ids[(i*7)%len(ids)], About: ids[(i*13+3)%len(ids)]}
 	}
 	var out []batchFileRun
-	for _, spec := range []string{"memory", "sharded", "async:sharded", "pgrid", "pgrid-deferred"} {
+	for _, spec := range []string{"memory", "sharded", "async:sharded", "pgrid", "pgrid-deferred", "pgrid-deferred32"} {
 		specOps := ops
 		openSpec, bc := spec, complaints.BackendConfig{BatchSize: batchSize, Seed: 11}
 		if strings.HasPrefix(spec, "pgrid") {
 			// Every pgrid operation pays O(log N) routing and a replica-group
 			// write, so the rows run a tenth of the stream; the deferred row
 			// (PR 5) buffers the replica broadcast per key and pays it once
-			// at the closing Flush.
+			// at the closing Flush. The deferred32 row shrinks the grid to 32
+			// peers (depth 4, below pgrid's adaptive grouping threshold), so
+			// its FileBatch files per complaint — the row pins that ungrouped
+			// filing is not slower than grouping would be on a shallow grid.
 			specOps = ops / 10
 			openSpec = "pgrid"
-			bc.DeferReplication = spec == "pgrid-deferred"
+			bc.DeferReplication = strings.HasPrefix(spec, "pgrid-deferred")
+			if spec == "pgrid-deferred32" {
+				bc.GridPeers = 32
+			}
 		}
 		run := batchFileRun{Backend: spec, BatchSize: batchSize}
 		for _, batched := range []bool{false, true} {

@@ -44,11 +44,18 @@ type Engine struct {
 	net     *netsim.Network
 	ledger  *reputation.Ledger
 
-	agents     []*agent.Agent
-	byID       map[trust.PeerID]*agent.Agent
-	nodeOf     map[trust.PeerID]netsim.NodeID
-	estimators map[trust.PeerID]trust.Estimator
-	repStore   complaints.Store // engine-owned store from Config.RepStore; nil otherwise
+	// Per-agent state is indexed, not mapped: one ID→index table replaces
+	// the three per-agent maps (agent, node, estimator) the engine used to
+	// build eagerly — at 10⁶ agents those maps and their method-value
+	// handler registrations were most of the engine's footprint. The node ID
+	// of agents[i] is simply NodeID(i), and estimators are created lazily on
+	// first use (every estimator kind is order-independent, so laziness
+	// cannot change results — most of a million agents are never paired).
+	agents      []*agent.Agent
+	index       map[trust.PeerID]int32
+	ests        []trust.Estimator // lazily filled; index-aligned with agents
+	estimatorOf func(trust.PeerID) trust.Estimator
+	repStore    complaints.Store // engine-owned store from Config.RepStore; nil otherwise
 
 	sessions map[int]*session // live sessions by ID
 	nextID   int              // next session to start
@@ -66,12 +73,16 @@ type stepMsg struct {
 	stepIndex int
 }
 
-// session is the live state of one exchange.
+// session is the live state of one exchange. The parties' node IDs are
+// cached at start (they are just the agents' population indices), so the
+// per-step hot path never needs an ID→node lookup.
 type session struct {
 	id      int
 	rng     *rand.Rand // per-session stream: bundle, defections, network draws
 	sup     *agent.Agent
 	con     *agent.Agent
+	supNode netsim.NodeID
+	conNode netsim.NodeID
 	terms   exchange.Terms
 	steps   exchange.Sequence
 	planned core.PlanResult
@@ -88,16 +99,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:        cfg,
-		pairRng:    rand.New(rand.NewSource(seedmix.Derive(cfg.Seed, 0))),
-		sim:        netsim.NewSimulator(cfg.Seed + 1),
-		ledger:     &reputation.Ledger{},
-		agents:     cfg.Agents,
-		byID:       make(map[trust.PeerID]*agent.Agent, len(cfg.Agents)),
-		nodeOf:     make(map[trust.PeerID]netsim.NodeID, len(cfg.Agents)),
-		estimators: make(map[trust.PeerID]trust.Estimator, len(cfg.Agents)),
-		sessions:   make(map[int]*session, cfg.Concurrency),
-		limit:      cfg.Sessions, // full-run budget; RunWindow switches to incremental
+		cfg:      cfg,
+		pairRng:  rand.New(rand.NewSource(seedmix.Derive(cfg.Seed, 0))),
+		sim:      netsim.NewSimulator(cfg.Seed + 1),
+		ledger:   &reputation.Ledger{},
+		agents:   cfg.Agents,
+		index:    make(map[trust.PeerID]int32, len(cfg.Agents)),
+		ests:     make([]trust.Estimator, len(cfg.Agents)),
+		sessions: make(map[int]*session, cfg.Concurrency),
+		limit:    cfg.Sessions, // full-run budget; RunWindow switches to incremental
 	}
 	e.net = netsim.NewNetwork(e.sim, cfg.Latency)
 	e.net.SetDropRate(cfg.DropRate)
@@ -149,19 +159,36 @@ func NewEngine(cfg Config) (*Engine, error) {
 		estimatorOf = func(trust.PeerID) trust.Estimator { return trust.NewBeta(bcfg) }
 	}
 
+	e.estimatorOf = estimatorOf
+
 	for i, a := range cfg.Agents {
-		if _, dup := e.byID[a.ID]; dup {
+		if _, dup := e.index[a.ID]; dup {
 			return nil, fmt.Errorf("market: duplicate agent ID %q", a.ID)
 		}
-		e.byID[a.ID] = a
-		node := netsim.NodeID(i)
-		e.nodeOf[a.ID] = node
-		e.estimators[a.ID] = estimatorOf(a.ID)
-		if err := e.net.Register(node, e.handle); err != nil {
-			return nil, err
-		}
+		e.index[a.ID] = int32(i)
 	}
+	// Every agent shares one dispatch function, so the network's default
+	// handler stands in for a million Register calls (each of which would
+	// allocate a method value and a map entry).
+	e.net.SetDefaultHandler(e.handle)
 	return e, nil
+}
+
+// estimatorAt returns (creating on first use) the estimator of agents[i].
+func (e *Engine) estimatorAt(i int32) trust.Estimator {
+	if e.ests[i] == nil {
+		e.ests[i] = e.estimatorOf(e.agents[i].ID)
+	}
+	return e.ests[i]
+}
+
+// agentByID resolves an ID to its agent, or nil for unknown IDs.
+func (e *Engine) agentByID(id trust.PeerID) *agent.Agent {
+	i, ok := e.index[id]
+	if !ok {
+		return nil
+	}
+	return e.agents[i]
 }
 
 // Ledger exposes the outcome log (for learning-curve analyses). With
@@ -169,8 +196,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 // carries its session ID in Round.
 func (e *Engine) Ledger() *reputation.Ledger { return e.ledger }
 
-// EstimatorOf exposes an agent's trust view (for accuracy metrics).
-func (e *Engine) EstimatorOf(id trust.PeerID) trust.Estimator { return e.estimators[id] }
+// EstimatorOf exposes an agent's trust view (for accuracy metrics). Unknown
+// IDs report nil; a known agent's estimator is created on first access.
+func (e *Engine) EstimatorOf(id trust.PeerID) trust.Estimator {
+	i, ok := e.index[id]
+	if !ok {
+		return nil
+	}
+	return e.estimatorAt(i)
+}
+
+// EventsExecuted reports the number of simulator events the engine has run —
+// the denominator of the scale benchmark's events/sec.
+func (e *Engine) EventsExecuted() int64 { return e.sim.Executed() }
 
 // RepStore exposes the engine-owned complaint store built from
 // Config.RepStore, for post-run assessment and pipeline statistics. It is
@@ -294,10 +332,11 @@ func (e *Engine) fill() {
 
 func (e *Engine) startSession(id int) error {
 	srng := rand.New(rand.NewSource(seedmix.Derive(e.cfg.Seed, uint64(id)+1)))
-	sup, con, err := e.pickPair()
+	supIdx, conIdx, err := e.pickPair()
 	if err != nil {
 		return err
 	}
+	sup, con := e.agents[supIdx], e.agents[conIdx]
 	bundle, err := goods.Generate(e.cfg.Gen, srng)
 	if err != nil {
 		return err
@@ -320,7 +359,12 @@ func (e *Engine) startSession(id int) error {
 		e.result.SupplierExposure.Add(planned.Plan.Report.MaxSupplierExposure.Float64())
 	}
 
-	s := &session{id: id, rng: srng, sup: sup, con: con, terms: terms, steps: steps, planned: planned}
+	s := &session{
+		id: id, rng: srng,
+		sup: sup, con: con,
+		supNode: netsim.NodeID(supIdx), conNode: netsim.NodeID(conIdx),
+		terms: terms, steps: steps, planned: planned,
+	}
 	e.sessions[id] = s
 	// Generous timeout: every step needs one message.
 	timeout := netsim.Time(len(steps)+4) * 40 * netsim.Millisecond
@@ -333,17 +377,17 @@ func (e *Engine) startSession(id int) error {
 	return nil
 }
 
-// pickPair draws two distinct agents from the pairing stream.
-func (e *Engine) pickPair() (sup, con *agent.Agent, err error) {
+// pickPair draws two distinct agent indices from the pairing stream.
+func (e *Engine) pickPair() (sup, con int, err error) {
 	if len(e.agents) < 2 {
-		return nil, nil, fmt.Errorf("market: cannot pair a session with %d agent(s); need at least 2", len(e.agents))
+		return 0, 0, fmt.Errorf("market: cannot pair a session with %d agent(s); need at least 2", len(e.agents))
 	}
 	i := e.pairRng.Intn(len(e.agents))
 	j := e.pairRng.Intn(len(e.agents) - 1)
 	if j >= i {
 		j++
 	}
-	return e.agents[i], e.agents[j], nil
+	return i, j, nil
 }
 
 // plan schedules the session according to the strategy.
@@ -377,7 +421,7 @@ func (e *Engine) plan(sup, con *agent.Agent, terms exchange.Terms) (exchange.Seq
 }
 
 func (e *Engine) participant(a *agent.Agent) core.Participant {
-	return core.Participant{ID: a.ID, Estimator: e.estimators[a.ID], Policy: a.Policy, Stake: a.Stake}
+	return core.Participant{ID: a.ID, Estimator: e.EstimatorOf(a.ID), Policy: a.Policy, Stake: a.Stake}
 }
 
 // advance lets the actor of the next step decide, perform, and transmit it.
@@ -408,9 +452,9 @@ func (e *Engine) advance(s *session) {
 		s.wd += step.Item.Worth
 	}
 	s.idx++
-	from, to := e.nodeOf[actor.ID], e.nodeOf[s.sup.ID]
+	from, to := s.conNode, s.supNode
 	if role == agent.RoleSupplier {
-		to = e.nodeOf[s.con.ID]
+		from, to = s.supNode, s.conNode
 	}
 	e.net.SendSeeded(from, to, stepMsg{sessionID: s.id, stepIndex: s.idx - 1}, s.rng)
 }
@@ -476,7 +520,7 @@ func (e *Engine) finish(s *session, ev reputation.Event) {
 		e.result.Aborted++
 	default:
 		e.result.Defected++
-		defector := e.byID[ev.DefectedBy]
+		defector := e.agentByID(ev.DefectedBy)
 		e.result.DefectionsBy[defector.Behavior.Name()]++
 		e.result.RealizedConsumerLoss.Add(ev.ConsumerLoss.Float64())
 		e.result.RealizedSupplierLoss.Add(ev.SupplierLoss.Float64())
@@ -491,9 +535,9 @@ func (e *Engine) finish(s *session, ev reputation.Event) {
 
 	e.ledger.Append(ev)
 	err := reputation.Feed(ev,
-		func(id trust.PeerID) trust.Estimator { return e.estimators[id] },
+		e.EstimatorOf,
 		func(id trust.PeerID) bool {
-			a := e.byID[id]
+			a := e.agentByID(id)
 			return a != nil && a.LiesAsWitness
 		})
 	if err != nil && e.runErr == nil {

@@ -27,8 +27,8 @@ func TestPickPairErrorsOnTinyPopulation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pickPair with 2 agents: %v", err)
 	}
-	if sup == nil || con == nil || sup.ID == con.ID {
-		t.Errorf("pickPair returned %v, %v; want two distinct agents", sup, con)
+	if sup == con || sup < 0 || con < 0 || sup >= len(agents) || con >= len(agents) {
+		t.Errorf("pickPair returned indices %d, %d; want two distinct agents", sup, con)
 	}
 }
 

@@ -57,16 +57,44 @@ func (s *Stats) Add(other Stats) {
 	s.NoRoute += other.NoRoute
 }
 
+// delivery is a queued message in flight: the receiver and payload of one
+// Send, held as a typed struct instead of a closure so the per-message cost
+// is a pooled struct fill rather than a heap allocation. Fired deliveries
+// return to the owning Network's pool.
+type delivery struct {
+	net  *Network
+	h    Handler
+	from NodeID
+	msg  Message
+}
+
+// maxPooledDeliveries bounds the Network's delivery freelist; a burst larger
+// than the bound is simply released to the garbage collector.
+const maxPooledDeliveries = 1024
+
+func (d *delivery) fire() {
+	n := d.net
+	n.stats.Delivered++
+	h, from, msg := d.h, d.from, d.msg
+	*d = delivery{}
+	if len(n.pool) < maxPooledDeliveries {
+		n.pool = append(n.pool, d)
+	}
+	h(from, msg)
+}
+
 // Network delivers messages between registered nodes over a Simulator with
 // configurable latency, random loss and partitions. Like the Simulator it is
 // single-threaded.
 type Network struct {
-	sim      *Simulator
-	latency  LatencyModel
-	handlers map[NodeID]Handler
-	groups   map[NodeID]int // partition group; absent means group 0
-	dropRate float64
-	stats    Stats
+	sim        *Simulator
+	latency    LatencyModel
+	handlers   map[NodeID]Handler
+	defHandler Handler        // fallback for ids with no Register entry
+	groups     map[NodeID]int // partition group; absent means group 0
+	dropRate   float64
+	pool       []*delivery // recycled in-flight message structs
+	stats      Stats
 }
 
 // NewNetwork returns a network on sim with the given latency model
@@ -91,6 +119,13 @@ func (n *Network) Register(id NodeID, h Handler) error {
 	n.handlers[id] = h
 	return nil
 }
+
+// SetDefaultHandler installs a fallback handler for destinations with no
+// Register entry. A population whose nodes all share one dispatch function
+// (market.Engine at scale) sets it once instead of paying a map entry and a
+// method-value allocation per node. Explicit Register entries still win;
+// NoRoute is only counted when neither matches.
+func (n *Network) SetDefaultHandler(h Handler) { n.defHandler = h }
 
 // SetDropRate makes every message independently lost with probability r
 // (clamped into [0, 1]).
@@ -136,10 +171,12 @@ func (n *Network) SendSeeded(from, to NodeID, msg Message, rng *rand.Rand) {
 	n.stats.Sent++
 	h, ok := n.handlers[to]
 	if !ok {
-		n.stats.NoRoute++
-		return
+		if h = n.defHandler; h == nil {
+			n.stats.NoRoute++
+			return
+		}
 	}
-	if n.groups[from] != n.groups[to] {
+	if len(n.groups) > 0 && n.groups[from] != n.groups[to] {
 		n.stats.Partitioned++
 		return
 	}
@@ -148,10 +185,18 @@ func (n *Network) SendSeeded(from, to NodeID, msg Message, rng *rand.Rand) {
 		return
 	}
 	delay := n.latency.Latency(from, to, rng)
-	n.sim.Schedule(delay, func() {
-		n.stats.Delivered++
-		h(from, msg)
-	})
+	// A typed event instead of a closure: delivery is the simulator's hottest
+	// schedule path, and the pooled struct form costs zero allocations per
+	// message in steady state.
+	var d *delivery
+	if k := len(n.pool); k > 0 {
+		d = n.pool[k-1]
+		n.pool = n.pool[:k-1]
+	} else {
+		d = new(delivery)
+	}
+	*d = delivery{net: n, h: h, from: from, msg: msg}
+	n.sim.scheduleEvent(delay, event{d: d})
 }
 
 // Sim exposes the underlying simulator (for timeouts scheduled by nodes).

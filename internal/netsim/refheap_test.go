@@ -1,0 +1,281 @@
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent is one entry of the reference queue: a per-event (timestamp,
+// schedule-seq) pair, the ordering contract the timer wheel must reproduce
+// bit-for-bit.
+type refEvent struct {
+	at  Time
+	seq int
+	fn  func()
+}
+
+// refHeap is the reference per-event priority queue: a plain binary heap
+// ordered by (timestamp, schedule-seq). It is deliberately the dumbest
+// correct implementation — O(log n) per event, no batching, no wheel — so
+// the equivalence tests compare the wheel against an independently obvious
+// definition of the contract rather than against another clever queue.
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refSimulator drives refHeap with the Simulator's scheduling semantics
+// (delay clamped to ≥ 0, overflow clamped to MaxTime, FIFO by schedule-seq).
+type refSimulator struct {
+	now  Time
+	h    refHeap
+	seq  int
+	nrun int
+}
+
+func (r *refSimulator) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	at := r.now + delay
+	if at < r.now {
+		at = MaxTime
+	}
+	heap.Push(&r.h, refEvent{at: at, seq: r.seq, fn: fn})
+	r.seq++
+}
+
+func (r *refSimulator) Step() bool {
+	if r.h.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&r.h).(refEvent)
+	r.now = ev.at
+	r.nrun++
+	ev.fn()
+	return true
+}
+
+func (r *refSimulator) Run() {
+	for r.Step() {
+	}
+}
+
+// scheduler abstracts the two queues for the shared workload driver.
+type scheduler interface {
+	Schedule(delay Time, fn func())
+}
+
+// trace records (timestamp, label) execution pairs for comparison.
+type trace struct {
+	ats    []Time
+	labels []int
+}
+
+func (tr *trace) record(at Time, label int) {
+	tr.ats = append(tr.ats, at)
+	tr.labels = append(tr.labels, label)
+}
+
+func (tr *trace) equal(other *trace) (int, bool) {
+	if len(tr.ats) != len(other.ats) {
+		return -1, false
+	}
+	for i := range tr.ats {
+		if tr.ats[i] != other.ats[i] || tr.labels[i] != other.labels[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// workload drives a queue with a deterministic pseudo-random event pattern:
+// an initial burst of events whose callbacks may reschedule follow-ups,
+// covering delay 0 (behind-the-cursor appends), duplicate timestamps,
+// cascade boundaries (delays near the 64/4096/2^18 level edges), and
+// far-future delays beyond the wheel horizon. now() reads the driven
+// queue's clock so follow-up delays are relative, exactly as real callers
+// schedule.
+func workload(seed int64, initial, follow int, s scheduler, now func() Time, tr *trace) {
+	rng := rand.New(rand.NewSource(seed))
+	delays := []Time{
+		0, 1, 2, 3, 5, 17,
+		63, 64, 65, // level 0/1 boundary
+		4095, 4096, 4097, // level 1/2 boundary
+		1<<18 - 1, 1 << 18, 1<<18 + 1, // level 2/3 boundary
+		1<<24 - 1, 1 << 24, 1<<24 + 1, // wheel horizon / overflow
+		1 << 30, // deep overflow
+	}
+	label := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		l := label
+		label++
+		d := delays[rng.Intn(len(delays))]
+		s.Schedule(d, func() {
+			tr.record(now(), l)
+			if depth > 0 && rng.Intn(3) > 0 {
+				schedule(depth - 1)
+			}
+		})
+	}
+	for i := 0; i < initial; i++ {
+		schedule(follow)
+	}
+}
+
+// TestWheelMatchesReferenceHeap proves the tentpole's ordering contract:
+// across randomized workloads that exercise delay-0 appends, duplicate
+// timestamps, every cascade boundary and the overflow list, the wheel
+// executes the exact (timestamp, schedule-seq) sequence of the reference
+// per-event heap.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		var trRef, trWheel trace
+
+		ref := &refSimulator{}
+		workload(seed, 40, 6, ref, func() Time { return ref.now }, &trRef)
+		ref.Run()
+
+		sim := NewSimulator(1)
+		workload(seed, 40, 6, sim, sim.Now, &trWheel)
+		n := sim.Run(0)
+
+		if n != ref.nrun {
+			t.Fatalf("seed %d: wheel ran %d events, reference ran %d", seed, n, ref.nrun)
+		}
+		if i, ok := trWheel.equal(&trRef); !ok {
+			if i < 0 {
+				t.Fatalf("seed %d: trace lengths differ: wheel %d, reference %d", seed, len(trWheel.ats), len(trRef.ats))
+			}
+			t.Fatalf("seed %d: divergence at event %d: wheel (t=%d, label=%d), reference (t=%d, label=%d)",
+				seed, i, trWheel.ats[i], trWheel.labels[i], trRef.ats[i], trRef.labels[i])
+		}
+	}
+}
+
+// TestWheelMatchesReferenceHeapStepwise interleaves scheduling with partial
+// draining (RunUntil at random deadlines), so cascades happen between
+// schedule waves rather than only after all scheduling is done.
+func TestWheelMatchesReferenceHeapStepwise(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var trRef, trWheel trace
+
+		ref := &refSimulator{}
+		sim := NewSimulator(1)
+
+		deadline := Time(0)
+		for wave := 0; wave < 8; wave++ {
+			workload(seed*31+int64(wave), 10, 3, ref, func() Time { return ref.now }, &trRef)
+			workload(seed*31+int64(wave), 10, 3, sim, sim.Now, &trWheel)
+			deadline += Time(rng.Int63n(1 << 20))
+			for ref.h.Len() > 0 && ref.h[0].at <= deadline {
+				ref.Step()
+			}
+			if ref.now < deadline {
+				ref.now = deadline
+			}
+			sim.RunUntil(deadline)
+			if sim.Now() != ref.now {
+				t.Fatalf("seed %d wave %d: clocks diverge: wheel %d, reference %d", seed, wave, sim.Now(), ref.now)
+			}
+		}
+		ref.Run()
+		sim.Run(0)
+
+		if i, ok := trWheel.equal(&trRef); !ok {
+			if i < 0 {
+				t.Fatalf("seed %d: trace lengths differ: wheel %d, reference %d", seed, len(trWheel.ats), len(trRef.ats))
+			}
+			t.Fatalf("seed %d: divergence at event %d: wheel (t=%d, label=%d), reference (t=%d, label=%d)",
+				seed, i, trWheel.ats[i], trWheel.labels[i], trRef.ats[i], trRef.labels[i])
+		}
+	}
+}
+
+// TestScheduleOverflowClamped is the regression test for the Time-overflow
+// guard: a delay that would wrap s.now + delay past MaxTime parks the event
+// at MaxTime instead of scheduling it into the past, and it still runs
+// (last) with the clock at MaxTime.
+func TestScheduleOverflowClamped(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(MaxTime, func() { // now+MaxTime wraps: clamp, not time travel
+		if s.Now() != MaxTime {
+			t.Errorf("overflow event ran at %d, want MaxTime", s.Now())
+		}
+		order = append(order, 2)
+	})
+	s.Schedule(20, func() { order = append(order, 3) })
+	// Advance the clock first so now+delay overflows with a finite delay too.
+	s.Schedule(30, func() {
+		s.Schedule(MaxTime-5, func() {
+			if s.Now() != MaxTime {
+				t.Errorf("finite-delay overflow event ran at %d, want MaxTime", s.Now())
+			}
+			order = append(order, 4)
+		})
+	})
+	if n := s.Run(0); n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+	want := []int{1, 3, 2, 4} // overflow events run last, in schedule order
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFreelistCapped asserts the bounded-freelist satellite: retired slot
+// arrays above maxRecycledCap events are dropped, not recycled, and the
+// freelist itself never exceeds maxFreeLists entries — so one large
+// same-tick wave cannot pin its peak backing memory for the rest of a run.
+func TestFreelistCapped(t *testing.T) {
+	s := NewSimulator(1)
+	// A wave well past maxRecycledCap on one tick: its slot array grows
+	// beyond the recyclable cap and must be dropped on retire.
+	for i := 0; i < 4*maxRecycledCap; i++ {
+		s.Schedule(1, func() {})
+	}
+	s.Run(0)
+	if len(s.free) != 0 {
+		t.Fatalf("freelist holds %d arrays after an oversized wave, want 0 (cap %d dropped)", len(s.free), maxRecycledCap)
+	}
+	// Many modest waves on distinct ticks: each retires a recyclable array,
+	// but the freelist must stop growing at maxFreeLists.
+	for tick := 1; tick <= 4*maxFreeLists; tick++ {
+		for i := 0; i < maxRecycledCap; i++ {
+			s.Schedule(Time(tick), func() {})
+		}
+	}
+	s.Run(0)
+	if len(s.free) > maxFreeLists {
+		t.Fatalf("freelist holds %d arrays, want ≤ %d", len(s.free), maxFreeLists)
+	}
+	for _, arr := range s.free {
+		if cap(arr) > maxRecycledCap {
+			t.Fatalf("freelist holds an array of cap %d, want ≤ %d", cap(arr), maxRecycledCap)
+		}
+	}
+}

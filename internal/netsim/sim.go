@@ -11,7 +11,8 @@
 package netsim
 
 import (
-	"container/heap"
+	"math"
+	"math/bits"
 	"math/rand"
 )
 
@@ -22,112 +23,324 @@ type Time int64
 // Millisecond is the canonical tick interpretation used by the experiments.
 const Millisecond Time = 1
 
-// tick is every event scheduled for one timestamp, in schedule (FIFO)
-// order. Batching same-tick deliveries into one bucket is what cuts the
-// event-queue overhead for large Concurrency: the heap is touched once per
-// *timestamp*, not once per event, so a wave of messages landing on the
-// same tick pays one sift-down instead of one each. next is the cursor of
-// the next event to run, so events an executing callback schedules for the
-// same tick (delay 0) append behind the cursor and still run this tick, in
-// schedule order — exactly the (timestamp, seq) order of the per-event
-// heap this replaces.
-type tick struct {
-	at     Time
+// MaxTime is the far end of virtual time. Schedule clamps timestamps that
+// would overflow int64 tick arithmetic to it, so a pathological delay parks
+// the event at the end of time instead of wrapping it into the past.
+const MaxTime = Time(math.MaxInt64)
+
+// The event queue is a hierarchical timing wheel (Varghese & Lauck): four
+// levels of 64-slot arrays indexed by the virtual timestamp's bit groups.
+// Level L buckets time at a granularity of 2^(6L) ticks, so the wheels
+// cover a horizon of 2^24 ticks ahead of the clock; events beyond that wait
+// in a plain overflow list. Scheduling and expiring are O(1) — no
+// per-timestamp map, no heap sift — and an event cascades down at most
+// wheelLevels-1 times before it fires.
+const (
+	wheelSlotBits = 6
+	wheelSlots    = 1 << wheelSlotBits // 64: one occupancy word per level
+	wheelSlotMask = wheelSlots - 1
+	wheelLevels   = 4
+	wheelBits     = wheelSlotBits * wheelLevels // horizon = 2^wheelBits ticks
+)
+
+// Freelist bounds (see retireSlot): retired slot arrays above
+// maxRecycledCap events are dropped rather than recycled, and at most
+// maxFreeLists arrays are kept — so one large same-tick wave cannot pin its
+// peak backing memory for the rest of a long run. maxFreeLists matches the
+// wheel's slots-per-level so a steady wave that fills one level-0 page
+// recycles every slot array instead of re-allocating half of them each pass;
+// the pinned ceiling is maxFreeLists×maxRecycledCap entries (96 KiB).
+const (
+	maxRecycledCap = 64
+	maxFreeLists   = wheelSlots
+	slotInline     = 2
+)
+
+// event is one queued occurrence: either a closure (fn) or a typed message
+// delivery (d, a receiver+payload struct the Network recycles through a
+// pool). The entry is deliberately 24 bytes — slot appends, cascades and
+// executes are the simulator's memory traffic, and a fat entry would tax
+// every shape to spare the delivery path one indirection.
+type event struct {
+	at Time
+	fn func()    // closure event; nil for typed deliveries
+	d  *delivery // typed delivery; nil for closure events
+}
+
+// slot is one wheel bucket: a FIFO list of events, backed by a small inline
+// array so the common near-empty slot never allocates. next is the cursor of
+// the next event to run while the slot is executing, so events a callback
+// schedules for the same tick append behind the cursor and still run this
+// tick, in schedule order.
+type slot struct {
+	events []event
 	next   int
-	fns    []func()
-	inline [4]func() // backs fns for the common small tick, avoiding a second allocation
+	inline [slotInline]event
 }
 
-type tickHeap []*tick
-
-func (h tickHeap) Len() int           { return len(h) }
-func (h tickHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h tickHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *tickHeap) Push(x any)        { *h = append(*h, x.(*tick)) }
-func (h *tickHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
-}
-
-// Simulator owns the virtual clock and the event queue.
+// Simulator owns the virtual clock and the timer-wheel event queue.
+//
+// Invariants: base ≤ now is never violated in the other direction — every
+// pending event has at ≥ base; an event sits at the lowest level whose
+// current page (the 2^(6(L+1))-tick aligned block containing base) covers
+// its timestamp; occupancy bit (L, i) is set exactly when wheels[L][i]
+// holds events. Together these make execution order bit-for-bit the
+// (timestamp, schedule-seq) FIFO order of a per-event priority queue: a
+// level-0 slot only ever holds events of one timestamp, and cascades
+// preserve list order.
 type Simulator struct {
-	now     Time
-	ticks   tickHeap
-	byTime  map[Time]*tick // live buckets by timestamp (each at most once)
-	free    []*tick        // retired buckets, capacity kept for reuse
-	pending int
-	rng     *rand.Rand
+	now      Time
+	base     Time  // wheel reference: no pending event is earlier
+	cur      *slot // level-0 slot currently draining at now, if any
+	wheels   [wheelLevels][wheelSlots]slot
+	occ      [wheelLevels]uint64 // per-level slot occupancy bitmaps
+	overflow []event             // events beyond the top wheel's horizon
+	free     [][]event           // bounded freelist of retired slot arrays
+	pending  int
+	executed int64
+	seed     int64
+	rng      *rand.Rand // built on first Rand call; see NewSimulator
 }
 
 // NewSimulator returns an empty simulator whose randomness derives entirely
-// from seed.
+// from seed. The random source is built on first use — seeding math/rand's
+// lagged-Fibonacci state costs microseconds, which a simulator that never
+// draws (the common pure-latency configuration) should not pay.
 func NewSimulator(seed int64) *Simulator {
-	return &Simulator{byTime: make(map[Time]*tick), rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{seed: seed}
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
 // Rand exposes the simulator's deterministic random source.
-func (s *Simulator) Rand() *rand.Rand { return s.rng }
+func (s *Simulator) Rand() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.seed))
+	}
+	return s.rng
+}
 
 // Pending reports the number of queued events.
 func (s *Simulator) Pending() int { return s.pending }
 
+// Executed reports the total number of events run so far — the event-load
+// number the scale benchmarks normalise by.
+func (s *Simulator) Executed() int64 { return s.executed }
+
 // Schedule queues fn to run after delay (clamped to ≥ 0) of virtual time.
-// Scheduling onto a timestamp that already has a bucket — the common case
-// for message waves — is one map hit and an append; only the first event of
-// a new timestamp pays a heap push.
+// A timestamp that would overflow Time is clamped to MaxTime. Scheduling is
+// O(1): the timestamp's bits select a wheel slot directly.
 func (s *Simulator) Schedule(delay Time, fn func()) {
+	s.scheduleEvent(delay, event{fn: fn})
+}
+
+func (s *Simulator) scheduleEvent(delay Time, ev event) {
 	if delay < 0 {
 		delay = 0
 	}
 	at := s.now + delay
-	b := s.byTime[at]
-	if b == nil {
-		if n := len(s.free); n > 0 {
-			b = s.free[n-1]
-			s.free = s.free[:n-1]
-			b.at = at
-		} else {
-			b = &tick{at: at}
-			b.fns = b.inline[:0]
-		}
-		s.byTime[at] = b
-		heap.Push(&s.ticks, b)
+	if at < s.now { // int64 overflow: clamp to the far end of time
+		at = MaxTime
 	}
-	b.fns = append(b.fns, fn)
+	ev.at = at
 	s.pending++
+	s.enqueue(ev)
+}
+
+// enqueue places ev at the lowest wheel level whose current page contains
+// its timestamp, or in the overflow list beyond the horizon.
+func (s *Simulator) enqueue(ev event) {
+	at := ev.at
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint((l + 1) * wheelSlotBits)
+		if at>>shift == s.base>>shift {
+			s.push(l, int(at>>uint(l*wheelSlotBits))&wheelSlotMask, ev)
+			return
+		}
+	}
+	s.overflow = append(s.overflow, ev)
+}
+
+// push appends ev to a wheel slot, growing through the freelist when the
+// slot outgrows its inline array.
+func (s *Simulator) push(l, idx int, ev event) {
+	sl := &s.wheels[l][idx]
+	if sl.events == nil {
+		sl.events = sl.inline[:0]
+		s.occ[l] |= 1 << uint(idx)
+	}
+	if len(sl.events) == cap(sl.events) && cap(sl.events) < maxRecycledCap {
+		// Outgrowing the inline array jumps straight to a recyclable
+		// maxRecycledCap array (freelist first) instead of doubling through
+		// intermediate sizes — same-tick waves are the hot shape and the
+		// repeated 56-byte-element growth copies are what they'd pay for.
+		var arr []event
+		if n := len(s.free); n > 0 {
+			arr = s.free[n-1][:len(sl.events)]
+			s.free = s.free[:n-1]
+		} else {
+			arr = make([]event, len(sl.events), maxRecycledCap)
+		}
+		copy(arr, sl.events)
+		clear(sl.events) // release refs held by the outgrown array
+		sl.events = arr
+	}
+	sl.events = append(sl.events, ev)
+}
+
+// peek returns the earliest pending timestamp without touching the wheel
+// structure. Levels nest — every level-L event fires before any level-L+1
+// event — so the first occupied level's lowest occupied slot holds the
+// minimum; above level 0 the slot spans several ticks and is scanned.
+func (s *Simulator) peek() (Time, bool) {
+	if s.pending == 0 {
+		return 0, false
+	}
+	if occ := s.occ[0]; occ != 0 {
+		idx := bits.TrailingZeros64(occ)
+		return s.base&^Time(wheelSlotMask) | Time(idx), true
+	}
+	for l := 1; l < wheelLevels; l++ {
+		occ := s.occ[l]
+		if occ == 0 {
+			continue
+		}
+		sl := &s.wheels[l][bits.TrailingZeros64(occ)]
+		min := MaxTime
+		for i := range sl.events {
+			if sl.events[i].at < min {
+				min = sl.events[i].at
+			}
+		}
+		return min, true
+	}
+	min := MaxTime
+	for i := range s.overflow {
+		if s.overflow[i].at < min {
+			min = s.overflow[i].at
+		}
+	}
+	return min, true
+}
+
+// advanceTo moves the wheel reference to t (the timestamp about to
+// execute; nothing pending is earlier) and cascades: at each level, only
+// the slot indexed by t's bits can hold events whose level drops under the
+// new base, so those slots are detached top-down and their events
+// re-placed. Detaching preserves list order and same-timestamp events share
+// every slot index, so FIFO order within a timestamp survives every
+// cascade. Crossing the top-level page re-files overflow events that came
+// within the horizon.
+func (s *Simulator) advanceTo(t Time) {
+	if t>>wheelSlotBits == s.base>>wheelSlotBits {
+		s.base = t
+		return
+	}
+	crossedTop := t>>wheelBits != s.base>>wheelBits
+	s.base = t
+	if crossedTop && len(s.overflow) > 0 {
+		evs := s.overflow
+		s.overflow = nil // old array is dropped, so no need to zero it
+		for i := range evs {
+			s.enqueue(evs[i]) // re-appends to overflow when still beyond
+		}
+	}
+	for l := wheelLevels - 1; l >= 1; l-- {
+		idx := int(t>>uint(l*wheelSlotBits)) & wheelSlotMask
+		if s.occ[l]&(1<<uint(idx)) == 0 {
+			continue
+		}
+		sl := &s.wheels[l][idx]
+		evs := sl.events
+		sl.events = nil
+		sl.next = 0
+		s.occ[l] &^= 1 << uint(idx)
+		for i := range evs {
+			s.enqueue(evs[i])
+		}
+		s.recycle(evs)
+	}
+}
+
+// recycle takes a detached slot array whose events have all been executed or
+// re-placed and either clears it (releasing the refs its dead entries pin)
+// or drops it wholesale. Clearing happens here, in one bulk pass, rather
+// than entry-by-entry on the execute path — scattered pointer zeroing is
+// write-barrier traffic the hot loop can skip, and an array headed for the
+// garbage collector needs no zeroing at all. Freelist bounds: arrays above
+// maxRecycledCap events are dropped so a single large wave cannot pin its
+// peak memory, and at most maxFreeLists arrays are kept. Inline-backed
+// arrays persist inside their slot struct, so they are always cleared.
+func (s *Simulator) recycle(arr []event) {
+	if cap(arr) <= slotInline {
+		clear(arr[:cap(arr)])
+		return
+	}
+	if cap(arr) > maxRecycledCap || len(s.free) >= maxFreeLists {
+		return // dropped: the collector releases the refs with the array
+	}
+	clear(arr)
+	s.free = append(s.free, arr[:0])
+}
+
+// retireSlot empties an exhausted level-0 slot after its last event ran.
+func (s *Simulator) retireSlot(idx int) {
+	sl := &s.wheels[0][idx]
+	s.occ[0] &^= 1 << uint(idx)
+	s.recycle(sl.events)
+	sl.events = nil
+	sl.next = 0
+}
+
+// exec runs the cursor event of the level-0 slot draining at s.now. While a
+// slot is draining every next event is its cursor entry — a callback cannot
+// schedule anything earlier than now, and a delay-0 event appends behind the
+// cursor of this same slot — so the drain loop skips peek and advanceTo
+// entirely; that is the fast path that keeps same-tick waves at the bucketed
+// queue's cost. Fired entries are not zeroed here: the slot clears in bulk
+// when it retires (recycle), so their refs stay pinned only until the slot
+// exhausts — at most one tick.
+func (s *Simulator) exec(sl *slot) {
+	ev := sl.events[sl.next]
+	sl.next++
+	s.pending--
+	s.executed++
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.d.fire()
+	}
+	// The callback may have appended same-tick events behind the cursor;
+	// only an exhausted slot retires.
+	if sl.next == len(sl.events) {
+		s.retireSlot(int(s.now) & wheelSlotMask)
+		s.cur = nil
+	}
+}
+
+// runAt executes the next event, which has timestamp t.
+func (s *Simulator) runAt(t Time) {
+	s.advanceTo(t)
+	sl := &s.wheels[0][int(t)&wheelSlotMask]
+	s.now = t
+	s.cur = sl
+	s.exec(sl)
 }
 
 // Step runs the next event, advancing the clock to its timestamp. It
 // reports whether an event was run. Execution order is identical to the
 // seed's per-event queue: timestamp order, FIFO within a timestamp.
 func (s *Simulator) Step() bool {
-	if len(s.ticks) == 0 {
+	if sl := s.cur; sl != nil {
+		s.exec(sl)
+		return true
+	}
+	t, ok := s.peek()
+	if !ok {
 		return false
 	}
-	b := s.ticks[0]
-	s.now = b.at
-	fn := b.fns[b.next]
-	b.fns[b.next] = nil
-	b.next++
-	s.pending--
-	fn()
-	// The callback may have appended same-tick events behind the cursor;
-	// only an exhausted bucket retires (one heap pop per timestamp), its
-	// capacity recycled for a future timestamp.
-	if b.next == len(b.fns) {
-		heap.Pop(&s.ticks)
-		delete(s.byTime, b.at)
-		b.next = 0
-		b.fns = b.fns[:0]
-		s.free = append(s.free, b)
-	}
+	s.runAt(t)
 	return true
 }
 
@@ -148,8 +361,17 @@ func (s *Simulator) Run(maxEvents int) int {
 // to the deadline. It returns the number of events executed.
 func (s *Simulator) RunUntil(deadline Time) int {
 	n := 0
-	for len(s.ticks) > 0 && s.ticks[0].at <= deadline {
-		s.Step()
+	for {
+		if sl := s.cur; sl != nil && s.now <= deadline {
+			s.exec(sl)
+			n++
+			continue
+		}
+		t, ok := s.peek()
+		if !ok || t > deadline {
+			break
+		}
+		s.runAt(t)
 		n++
 	}
 	if s.now < deadline {

@@ -111,9 +111,24 @@ func (s *ComplaintStore) File(c complaints.Complaint) error {
 // replica's stored record — matches what the same batch filed one complaint
 // at a time would leave. Every group is attempted even after a failure and
 // the first error is returned (the BatchFiler contract).
+//
+// Grouping is adaptive on the grid (Grid.GroupedBatchPays): a shallow
+// store-and-forward grid files per complaint instead, because its routed
+// walks are cheaper than assembling the group map and deferred replication
+// already amortises the broadcast per key. Either path leaves replicas with
+// byte-identical records.
 func (s *ComplaintStore) FileBatch(batch []complaints.Complaint) error {
 	if len(batch) == 0 {
 		return nil
+	}
+	if !s.Grid.GroupedBatchPays() {
+		var firstErr error
+		for _, c := range batch {
+			if err := s.File(c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
 	}
 	groups := make(map[string][]string, 2*len(batch))
 	order := make([]string, 0, 2*len(batch))

@@ -203,6 +203,25 @@ func (g *Grid) pickRefs(candidates []int, k int) []int {
 // Depth returns the trie depth.
 func (g *Grid) Depth() int { return g.cfg.Depth }
 
+// batchGroupMinDepth is the trie depth from which per-key grouping pays for
+// a store-and-forward batch write. Grouping exists to amortise the routed
+// walk (and, eagerly, the O(peers) replica broadcast) across a batch's
+// repeats of one key; under DeferReplication the broadcast is already
+// amortised per key, so grouping only saves routing — and on a shallow grid
+// a routed walk is a couple of reference hops, cheaper than building the
+// per-key group map. The crossover sits at the 64-peer default (depth 5);
+// 32-peer grids (depth 4) file faster ungrouped.
+const batchGroupMinDepth = 5
+
+// GroupedBatchPays reports whether a batch writer (ComplaintStore.FileBatch)
+// should group its insertions by grid key before filing. Eager grids always
+// group — every insert otherwise pays a full replica broadcast per value.
+// Store-and-forward grids group only at batchGroupMinDepth and deeper, where
+// the routing saved outweighs the grouping overhead.
+func (g *Grid) GroupedBatchPays() bool {
+	return !g.cfg.DeferReplication || g.cfg.Depth >= batchGroupMinDepth
+}
+
 // Size returns the number of peers.
 func (g *Grid) Size() int { return len(g.peers) }
 
