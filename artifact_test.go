@@ -12,9 +12,10 @@ import (
 // serial wall clock over the widest worker/engine pool's. On a host with one
 // CPU there is no parallelism to win, so a value above 1.0 can only be noise
 // or a broken measurement loop — cmd/bench pins these to exactly 1.0 there.
-// Algorithmic ratios (speedup_batch_vs_single, speedup_vs_memory) legitimately
-// exceed 1.0 on any host — they compare code paths, not core counts — and are
-// deliberately absent here.
+// Algorithmic ratios (speedup_batch_vs_single, speedup_vs_memory,
+// speedup_aggregate_vs_scan) legitimately exceed 1.0 on any host — they
+// compare code paths, not core counts — and are deliberately absent here;
+// assessor_path's ratio gets its own internal-consistency test below instead.
 var parallelSpeedupFields = map[string]bool{
 	"speedup_numcpu_vs_1": true,
 	"speedup_vs_1_engine": true,
@@ -56,6 +57,60 @@ func TestBenchArtifactsNoPhantomParallelSpeedup(t *testing.T) {
 				t.Errorf("%s: %s = %v on a 1-CPU host; parallel speedup above 1.0 is phantom", path, fieldPath, v)
 			}
 		})
+	}
+}
+
+// TestBenchArtifactsAssessorPathConsistent validates the assessor_path
+// section of every committed artifact that has one (PR 7+): both timed paths
+// must be positive, the recorded speedup must equal scan/aggregate (the two
+// numbers it claims to summarise), and at populations of 1e5 the aggregate
+// must beat the scan by at least 10× — the PR's acceptance floor, set far
+// below the measured ratio (thousands) so host noise can't flake it but a
+// silently re-introduced O(N) read cannot pass.
+func TestBenchArtifactsAssessorPathConsistent(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_PR*.json artifacts found; run from the repo root")
+	}
+	sectionSeen := false
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact struct {
+			AssessorPath []struct {
+				Backend                string  `json:"backend"`
+				Population             int     `json:"population"`
+				ScanNsPerDecision      float64 `json:"scan_ns_per_decision"`
+				AggregateNsPerDecision float64 `json:"aggregate_ns_per_decision"`
+				SpeedupAggregateVsScan float64 `json:"speedup_aggregate_vs_scan"`
+			} `json:"assessor_path"`
+		}
+		if err := json.Unmarshal(data, &artifact); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, row := range artifact.AssessorPath {
+			sectionSeen = true
+			id := fmt.Sprintf("%s: assessor_path %s pop=%d", path, row.Backend, row.Population)
+			if row.ScanNsPerDecision <= 0 || row.AggregateNsPerDecision <= 0 {
+				t.Errorf("%s: non-positive timing (scan %v, aggregate %v)", id, row.ScanNsPerDecision, row.AggregateNsPerDecision)
+				continue
+			}
+			want := row.ScanNsPerDecision / row.AggregateNsPerDecision
+			if diff := row.SpeedupAggregateVsScan - want; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("%s: speedup_aggregate_vs_scan = %v, but scan/aggregate = %v", id, row.SpeedupAggregateVsScan, want)
+			}
+			if row.Population >= 100_000 && row.SpeedupAggregateVsScan < 10 {
+				t.Errorf("%s: speedup %v below the 10x acceptance floor", id, row.SpeedupAggregateVsScan)
+			}
+		}
+	}
+	if !sectionSeen {
+		t.Error("no artifact carries an assessor_path section; BENCH_PR7.json should")
 	}
 }
 

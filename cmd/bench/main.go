@@ -24,7 +24,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/metrics"
+	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -176,6 +178,25 @@ type evidencePlaneReport struct {
 	Kinds    []evidenceKindRun `json:"kinds"`
 }
 
+// assessorPathRun is one row of the assessor_path section: ns per trust
+// decision (one NormalisedScore call — population average + per-peer
+// product) measured both ways on the same pre-filled store: through the
+// CountsAll scan the seed implementation paid on every decision, and
+// through the incrementally maintained O(1) aggregate.
+type assessorPathRun struct {
+	Backend    string `json:"backend"`
+	Population int    `json:"population"`
+	// ScanDecisions/AggregateDecisions are the timed call counts (the scan
+	// path is O(population), so it times fewer calls at the big sizes).
+	ScanDecisions          int     `json:"scan_decisions"`
+	AggregateDecisions     int     `json:"aggregate_decisions"`
+	ScanNsPerDecision      float64 `json:"scan_ns_per_decision"`
+	AggregateNsPerDecision float64 `json:"aggregate_ns_per_decision"`
+	// SpeedupAggregateVsScan compares the two read paths on one host —
+	// an algorithmic O(N)→O(1) ratio, not a parallelism number.
+	SpeedupAggregateVsScan float64 `json:"speedup_aggregate_vs_scan"`
+}
+
 type report struct {
 	Generated     string              `json:"generated"`
 	GoVersion     string              `json:"go_version"`
@@ -184,15 +205,16 @@ type report struct {
 	Seed          int64               `json:"seed"`
 	Quick         bool                `json:"quick"`
 	Reps          int                 `json:"reps"`
-	Experiments   []experimentReport  `json:"experiments"`
-	Schedule      []scheduleReport    `json:"schedule_fast_path"`
-	Engine        []engineReport      `json:"engine_sessions"`
-	Netsim        []netsimReport      `json:"netsim_timer_wheel"`
+	Experiments   []experimentReport  `json:"experiments,omitempty"`
+	Schedule      []scheduleReport    `json:"schedule_fast_path,omitempty"`
+	Engine        []engineReport      `json:"engine_sessions,omitempty"`
+	Netsim        []netsimReport      `json:"netsim_timer_wheel,omitempty"`
 	Scale         []scaleRun          `json:"scale,omitempty"`
-	Stores        []storeReport       `json:"store_contention"`
-	CellSharding  cellShardingReport  `json:"cell_sharding"`
-	Gossip        gossipReport        `json:"gossip"`
-	EvidencePlane evidencePlaneReport `json:"evidence_plane"`
+	AssessorPath  []assessorPathRun   `json:"assessor_path,omitempty"`
+	Stores        []storeReport       `json:"store_contention,omitempty"`
+	CellSharding  cellShardingReport  `json:"cell_sharding,omitzero"`
+	Gossip        gossipReport        `json:"gossip,omitzero"`
+	EvidencePlane evidencePlaneReport `json:"evidence_plane,omitzero"`
 	Notes         string              `json:"notes"`
 }
 
@@ -201,9 +223,16 @@ type report struct {
 // (jittered latencies spread timestamps — the shape the timer wheel exists
 // for) and the per-agent memory footprint.
 type scaleRun struct {
-	Agents      int `json:"agents"`
-	Sessions    int `json:"sessions"`
-	Concurrency int `json:"concurrency"`
+	Agents int `json:"agents"`
+	// Estimator labels the trust path the engine ran (PR 7): "beta-private"
+	// is per-agent Beta estimators with population-independent decisions
+	// (the PR 6 baseline), "complaints-sharded" routes every decision
+	// through the shared sharded complaint store's population average — the
+	// read that was O(agents) before the incremental aggregate and O(1)
+	// after.
+	Estimator   string `json:"estimator,omitempty"`
+	Sessions    int    `json:"sessions"`
+	Concurrency int    `json:"concurrency"`
 	// Events is the number of simulator events the run executed; Seconds is
 	// the engine run's wall clock (construction excluded).
 	Events       int64   `json:"events"`
@@ -249,13 +278,46 @@ func run(args []string) error {
 	evidence := fs.String("evidence", "complaints,posterior",
 		"comma-separated evidence kinds for the evidence_plane benchmark section")
 	scale := fs.Bool("scale", false,
-		"run the scale section: one marketplace engine at 1e4/1e5/1e6 agents (slow; needs ~1.5 GB at the top size)")
+		"run the scale section: one marketplace engine per estimator at 1e4/1e5/1e6 agents (slow; needs ~1.5 GB at the top size)")
+	scaleAgents := fs.String("scale-agents", "10000,100000,1000000",
+		"comma-separated population sizes for the scale section")
+	scaleCeiling := fs.Float64("scale-ceiling-ns", 0,
+		"fail (exit nonzero, after writing the report) if any scale row exceeds this ns/event; 0 disables — the CI guard that trust decisions stay O(1) in the population")
+	sections := fs.String("sections", "",
+		"comma-separated subset of sections to run (experiments,schedule,engine,stores,cells,gossip,evidence,netsim,assessor); empty runs them all; 'scale' here implies -scale")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof; see docs/PERF.md)")
+	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to this file at exit (see docs/PERF.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	gossipCfg, err := gossip.ParseSpec(*gossipSpec)
 	if err != nil {
 		return err
+	}
+	agentSizes, err := parseSizes(*scaleAgents)
+	if err != nil {
+		return fmt.Errorf("-scale-agents: %w", err)
+	}
+	secSet := map[string]bool{}
+	for _, s := range strings.Split(*sections, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			secSet[s] = true
+		}
+	}
+	// want reports whether a section should run: all of them by default, only
+	// the listed ones when -sections narrows the run (the CI smoke shape).
+	want := func(name string) bool { return len(secSet) == 0 || secSet[name] }
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := report{
@@ -329,7 +391,25 @@ func run(args []string) error {
 			"(depth 4, below the adaptive grouping threshold: FileBatch files " +
 			"per complaint there, so its speedup_batch_vs_single is ~1.0 by " +
 			"design — the grouped map would cost more than the shallow walks " +
-			"it saves)",
+			"it saves); " +
+			"assessor_path (PR 7) times one trust decision — " +
+			"Assessor.NormalisedScore, the population average plus the " +
+			"per-peer product — both ways on the same pre-filled store: " +
+			"scan_ns_per_decision forces the seed's O(population) CountsAll " +
+			"walk through a wrapper that withholds the Aggregator extension, " +
+			"aggregate_ns_per_decision reads the incrementally maintained " +
+			"running sum; the two paths return bit-identical scores (the " +
+			"aggregate-equals-scan property test pins it), so " +
+			"speedup_aggregate_vs_scan is pure algorithmic O(N) to O(1) and " +
+			"grows linearly with the population; scale rows carry an " +
+			"estimator label since PR 7: beta-private is the per-agent Beta " +
+			"baseline with population-independent decisions, " +
+			"complaints-sharded routes every decision through the shared " +
+			"sharded complaint store's population average — the read that " +
+			"was O(agents) per decision before the aggregate — so its " +
+			"ns_per_event staying flat from 1e4 to 1e6 agents is the " +
+			"tentpole's end-to-end evidence; -scale-ceiling-ns turns that " +
+			"flatness into a CI guard",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -339,7 +419,11 @@ func run(args []string) error {
 	if n := runtime.GOMAXPROCS(0); n > 4 {
 		widths = append(widths, n)
 	}
-	for _, id := range eval.IDs() {
+	ids := eval.IDs()
+	if !want("experiments") {
+		ids = nil
+	}
+	for _, id := range ids {
 		er := experimentReport{ID: id}
 		for _, workers := range widths {
 			best := time.Duration(0)
@@ -362,7 +446,11 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", id, er.Runs)
 	}
 
-	for _, items := range []int{16, 64, 256} {
+	var schedItems []int
+	if want("schedule") {
+		schedItems = []int{16, 64, 256}
+	}
+	for _, items := range schedItems {
 		rng := rand.New(rand.NewSource(3))
 		gen := goods.DefaultGenConfig()
 		gen.Items = items
@@ -388,7 +476,11 @@ func run(args []string) error {
 		})
 	}
 
-	for _, conc := range []int{1, 16} {
+	var engineConcs []int
+	if want("engine") {
+		engineConcs = []int{1, 16}
+	}
+	for _, conc := range engineConcs {
 		agents, err := agent.NewPopulation(agent.PopConfig{Honest: 16, Opportunist: 4, Stake: 2 * goods.Unit},
 			rand.New(rand.NewSource(1)))
 		if err != nil {
@@ -406,39 +498,83 @@ func run(args []string) error {
 		rep.Engine = append(rep.Engine, engineReport{Concurrency: conc, Sessions: sessions, Seconds: time.Since(start).Seconds()})
 	}
 
-	stores, err := benchStores(strings.Split(*repstore, ","), *quick, *reps)
-	if err != nil {
-		return err
-	}
-	rep.Stores = stores
-
-	cells, err := benchCellSharding(*seed, *quick, *reps)
-	if err != nil {
-		return err
-	}
-	batches, err := benchFileBatch(*quick, *reps)
-	if err != nil {
-		return err
-	}
-	rep.CellSharding = cellShardingReport{Cells: cells, FileBatch: batches}
-
-	gr, err := benchGossip(*seed, *quick, *reps, gossipCfg)
-	if err != nil {
-		return err
-	}
-	rep.Gossip = gr
-
-	ep, err := benchEvidencePlane(*seed, *quick, strings.Split(*evidence, ","))
-	if err != nil {
-		return err
-	}
-	rep.EvidencePlane = ep
-
-	rep.Netsim = benchNetsim(*reps)
-
-	if *scale {
-		rep.Scale, err = benchScale(*seed)
+	if want("stores") {
+		stores, err := benchStores(strings.Split(*repstore, ","), *quick, *reps)
 		if err != nil {
+			return err
+		}
+		rep.Stores = stores
+	}
+
+	if want("cells") {
+		cells, err := benchCellSharding(*seed, *quick, *reps)
+		if err != nil {
+			return err
+		}
+		batches, err := benchFileBatch(*quick, *reps)
+		if err != nil {
+			return err
+		}
+		rep.CellSharding = cellShardingReport{Cells: cells, FileBatch: batches}
+	}
+
+	if want("gossip") {
+		gr, err := benchGossip(*seed, *quick, *reps, gossipCfg)
+		if err != nil {
+			return err
+		}
+		rep.Gossip = gr
+	}
+
+	if want("evidence") {
+		ep, err := benchEvidencePlane(*seed, *quick, strings.Split(*evidence, ","))
+		if err != nil {
+			return err
+		}
+		rep.EvidencePlane = ep
+	}
+
+	if want("netsim") {
+		rep.Netsim = benchNetsim(*reps)
+	}
+
+	if want("assessor") {
+		rep.AssessorPath, err = benchAssessorPath(*quick, *reps)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *scale || secSet["scale"] {
+		rep.Scale, err = benchScale(*seed, agentSizes)
+		if err != nil {
+			return err
+		}
+	}
+	// The ceiling guard fires after the report is assembled so CI failures
+	// still ship the numbers that tripped them.
+	var ceilingErr error
+	if *scaleCeiling > 0 {
+		for _, row := range rep.Scale {
+			if row.NsPerEvent > *scaleCeiling {
+				ceilingErr = fmt.Errorf("scale ceiling exceeded: %s at %d agents ran %.0f ns/event, ceiling %.0f",
+					row.Estimator, row.Agents, row.NsPerEvent, *scaleCeiling)
+				break
+			}
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // profile live objects, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}
@@ -449,10 +585,36 @@ func run(args []string) error {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err = os.Stdout.Write(data)
+		if _, err = os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return ceilingErr
+}
+
+// parseSizes parses a comma-separated list of positive integers.
+func parseSizes(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("population size must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no population sizes in %q", spec)
+	}
+	return out, nil
 }
 
 // benchCellSharding measures the tentpole of PR 3: one experiment cell —
@@ -709,68 +871,215 @@ func benchEvidencePlane(seed int64, quick bool, kinds []string) (evidencePlaneRe
 	return ep, nil
 }
 
-// benchScale runs one marketplace engine at growing populations — the
-// million-agent scale path the timer wheel (PR 6) exists for. The session
-// count is fixed, so the rows isolate how population size alone moves event
-// throughput (it should barely move: pairing, routing and estimator access
-// are all O(1) in the population) and what each agent costs in resident
-// memory (population + engine index; estimators are lazy, so mostly-idle
-// agents stay cheap).
-func benchScale(seed int64) ([]scaleRun, error) {
+// benchScale runs one marketplace engine per estimator at growing
+// populations — the million-agent scale path the timer wheel (PR 6) exists
+// for. The session count is fixed, so the rows isolate how population size
+// alone moves event throughput and what each agent costs in resident memory
+// (population + engine index; estimators are lazy, so mostly-idle agents
+// stay cheap). The beta-private rows should barely move with population
+// (pairing, routing and estimator access are all O(1) in it); since PR 7 the
+// complaints-sharded rows — where every trust decision reads the population
+// average off the shared complaint store — should match that flatness too,
+// because the average comes from the incrementally maintained aggregate
+// instead of the former O(agents) scan.
+func benchScale(seed int64, agentSizes []int) ([]scaleRun, error) {
 	const sessions = 20_000
 	const concurrency = 256
+	variants := []struct {
+		estimator string
+		repStore  string
+	}{
+		{"beta-private", ""},
+		{"complaints-sharded", "sharded"},
+	}
 	var out []scaleRun
-	for _, agents := range []int{10_000, 100_000, 1_000_000} {
-		runtime.GC()
-		var before runtime.MemStats
-		runtime.ReadMemStats(&before)
+	for _, agents := range agentSizes {
+		for _, v := range variants {
+			// Two collections: sync.Pool victims (the netsim cross-run pools
+			// released by the previous row) survive one GC by design, and a
+			// baseline taken while they are still live would undercount —
+			// or even underflow — the next row's heap delta.
+			runtime.GC()
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
 
-		pop, err := agent.NewPopulation(agent.PopConfig{
-			Honest:      agents - agents/5,
-			Opportunist: agents / 5,
-		}, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return nil, err
-		}
-		eng, err := market.NewEngine(market.Config{
-			Seed:        seed,
-			Sessions:    sessions,
-			Agents:      pop,
-			Concurrency: concurrency,
-		})
-		if err != nil {
-			return nil, err
-		}
-		runtime.GC()
-		var built runtime.MemStats
-		runtime.ReadMemStats(&built)
+			pop, err := agent.NewPopulation(agent.PopConfig{
+				Honest:      agents - agents/5,
+				Opportunist: agents / 5,
+			}, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			eng, err := market.NewEngine(market.Config{
+				Seed:        seed,
+				Sessions:    sessions,
+				Agents:      pop,
+				Concurrency: concurrency,
+				Strategy:    market.StrategyTrustAware,
+				RepStore:    v.repStore,
+			})
+			if err != nil {
+				return nil, err
+			}
+			runtime.GC()
+			runtime.GC()
+			var built runtime.MemStats
+			runtime.ReadMemStats(&built)
+			// Clamp against residual GC drift: the delta is a measurement,
+			// not an invariant, and an underflowed uint64 would poison the
+			// bytes_per_agent column.
+			engineHeap := uint64(0)
+			if built.HeapAlloc > before.HeapAlloc {
+				engineHeap = built.HeapAlloc - before.HeapAlloc
+			}
 
-		start := time.Now()
-		if _, err := eng.Run(); err != nil {
-			return nil, err
-		}
-		secs := time.Since(start).Seconds()
-		var after runtime.MemStats // deliberately before any GC: high-water
-		runtime.ReadMemStats(&after)
+			start := time.Now()
+			if _, err := eng.Run(); err != nil {
+				return nil, err
+			}
+			secs := time.Since(start).Seconds()
+			var after runtime.MemStats // deliberately before any GC: high-water
+			runtime.ReadMemStats(&after)
 
-		events := eng.EventsExecuted()
-		row := scaleRun{
-			Agents:          agents,
-			Sessions:        sessions,
-			Concurrency:     concurrency,
-			Events:          events,
-			Seconds:         secs,
-			EngineHeapBytes: built.HeapAlloc - before.HeapAlloc,
-			PeakHeapBytes:   after.HeapInuse,
+			events := eng.EventsExecuted()
+			row := scaleRun{
+				Agents:          agents,
+				Estimator:       v.estimator,
+				Sessions:        sessions,
+				Concurrency:     concurrency,
+				Events:          events,
+				Seconds:         secs,
+				EngineHeapBytes: engineHeap,
+				PeakHeapBytes:   after.HeapInuse,
+			}
+			row.BytesPerAgent = float64(row.EngineHeapBytes) / float64(agents)
+			if events > 0 {
+				row.EventsPerSec = float64(events) / secs
+				row.NsPerEvent = secs * 1e9 / float64(events)
+			}
+			out = append(out, row)
+			fmt.Fprintf(os.Stderr, "scale %d agents (%s): %d events in %.2fs (%.0f events/s, %.1f ns/event), %.1f bytes/agent, peak heap %d MB\n",
+				agents, v.estimator, events, secs, row.EventsPerSec, row.NsPerEvent, row.BytesPerAgent, after.HeapInuse>>20)
 		}
-		row.BytesPerAgent = float64(row.EngineHeapBytes) / float64(agents)
-		if events > 0 {
-			row.EventsPerSec = float64(events) / secs
-			row.NsPerEvent = secs * 1e9 / float64(events)
+	}
+	return out, nil
+}
+
+// scanOnlyStore hides the Aggregator and MutationCounter extensions of the
+// wrapped store while keeping its bulk CountsAll read, so an assessor over
+// it is forced down the pre-PR-7 path: one population scan per decision,
+// through the same Snapshotter fast path the seed used. This is the honest
+// baseline for the assessor_path comparison — same store, same data, same
+// scan machinery, only the aggregate withheld.
+type scanOnlyStore struct{ inner complaints.Store }
+
+func (s scanOnlyStore) File(c complaints.Complaint) error    { return s.inner.File(c) }
+func (s scanOnlyStore) Received(p trust.PeerID) (int, error) { return s.inner.Received(p) }
+func (s scanOnlyStore) Filed(p trust.PeerID) (int, error)    { return s.inner.Filed(p) }
+func (s scanOnlyStore) Counts(p trust.PeerID) (int, int, error) {
+	if c, ok := s.inner.(complaints.Counter); ok {
+		return c.Counts(p)
+	}
+	r, err := s.inner.Received(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := s.inner.Filed(p)
+	return r, f, err
+}
+func (s scanOnlyStore) CountsAll(peers []trust.PeerID) ([]complaints.Tally, error) {
+	return s.inner.(complaints.Snapshotter).CountsAll(peers)
+}
+
+// benchAssessorPath measures the tentpole of PR 7: one trust decision
+// (Assessor.NormalisedScore — population average plus the per-peer product)
+// timed both ways on the same pre-filled store. The scan rows force the
+// seed's O(population) CountsAll walk through scanOnlyStore; the aggregate
+// rows read the incrementally maintained sum. Both return bit-identical
+// scores (pinned by the aggregate≡scan property test), so the ratio is pure
+// algorithmic O(N)→O(1) and grows linearly with the population.
+func benchAssessorPath(quick bool, reps int) ([]assessorPathRun, error) {
+	populations := []int{1_000, 10_000, 100_000}
+	if quick {
+		populations = []int{1_000, 10_000}
+	}
+	var out []assessorPathRun
+	for _, backend := range []string{"memory", "sharded"} {
+		for _, pop := range populations {
+			ids := benchutil.StorePeers(pop)
+			store, err := complaints.Open(backend, complaints.BackendConfig{})
+			if err != nil {
+				return nil, err
+			}
+			// Pre-file two complaints per peer on average so both paths read
+			// a store with realistic occupancy.
+			batch := make([]complaints.Complaint, 0, 256)
+			for i := 0; i < 2*pop; i++ {
+				batch = append(batch, complaints.Complaint{From: ids[(i*7)%pop], About: ids[(i*13+3)%pop]})
+				if len(batch) == cap(batch) {
+					if err := complaints.FileAll(store, batch); err != nil {
+						return nil, err
+					}
+					batch = batch[:0]
+				}
+			}
+			if err := complaints.FileAll(store, batch); err != nil {
+				return nil, err
+			}
+
+			aggregate := complaints.NewAssessor(store, ids)
+			scan := complaints.Assessor{Store: scanOnlyStore{inner: store}, Population: ids}
+
+			// The scan is O(population) per call, so it times fewer calls at
+			// the big sizes to keep the section bounded.
+			aggDecisions := 50_000
+			scanDecisions := 4_000_000 / pop
+			if quick {
+				aggDecisions /= 10
+				scanDecisions /= 4
+			}
+			if scanDecisions < 8 {
+				scanDecisions = 8
+			}
+
+			measure := func(a complaints.Assessor, n int) (float64, error) {
+				best := time.Duration(0)
+				for r := 0; r < reps; r++ {
+					start := time.Now()
+					for i := 0; i < n; i++ {
+						if _, err := a.NormalisedScore(ids[(i*31)%pop]); err != nil {
+							return 0, err
+						}
+					}
+					if d := time.Since(start); best == 0 || d < best {
+						best = d
+					}
+				}
+				return float64(best.Nanoseconds()) / float64(n), nil
+			}
+			row := assessorPathRun{
+				Backend:            backend,
+				Population:         pop,
+				ScanDecisions:      scanDecisions,
+				AggregateDecisions: aggDecisions,
+			}
+			if row.ScanNsPerDecision, err = measure(scan, scanDecisions); err != nil {
+				return nil, err
+			}
+			if row.AggregateNsPerDecision, err = measure(aggregate, aggDecisions); err != nil {
+				return nil, err
+			}
+			if row.AggregateNsPerDecision > 0 {
+				row.SpeedupAggregateVsScan = row.ScanNsPerDecision / row.AggregateNsPerDecision
+			}
+			if cerr := benchutil.CloseStore(store); cerr != nil {
+				return nil, cerr
+			}
+			out = append(out, row)
+			fmt.Fprintf(os.Stderr, "assessor %s pop=%d: scan %.0f ns/decision, aggregate %.0f ns/decision (%.1fx)\n",
+				backend, pop, row.ScanNsPerDecision, row.AggregateNsPerDecision, row.SpeedupAggregateVsScan)
 		}
-		out = append(out, row)
-		fmt.Fprintf(os.Stderr, "scale %d agents: %d events in %.2fs (%.0f events/s, %.1f ns/event), %.1f bytes/agent, peak heap %d MB\n",
-			agents, events, secs, row.EventsPerSec, row.NsPerEvent, row.BytesPerAgent, after.HeapInuse>>20)
 	}
 	return out, nil
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunQuickSections drives run() end to end the way the CI smoke jobs
+// do: a quick single-rep pass over every section except the experiment
+// tables and the scale sweep, writing the JSON report and both pprof
+// profiles. It pins the -sections contract — requested sections appear in
+// the report, omitted ones stay empty — and that assessor_path records a
+// real aggregate-vs-scan speedup even at quick sizes.
+func TestRunQuickSections(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{
+		"-quick", "-reps", "1",
+		"-sections", "stores,netsim,assessor,schedule,engine,cells,gossip,evidence",
+		"-cpuprofile", cpu,
+		"-memprofile", mem,
+		"-o", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	if len(rep.Experiments) != 0 || len(rep.Scale) != 0 {
+		t.Errorf("unrequested sections must stay empty: experiments=%d scale=%d",
+			len(rep.Experiments), len(rep.Scale))
+	}
+	if len(rep.Stores) == 0 || len(rep.Netsim) == 0 || len(rep.Schedule) == 0 ||
+		len(rep.Engine) == 0 || len(rep.CellSharding.Cells) == 0 ||
+		len(rep.Gossip.Runs) == 0 || len(rep.EvidencePlane.Kinds) == 0 {
+		t.Fatalf("requested section missing from report: stores=%d netsim=%d schedule=%d engine=%d cells=%d gossip=%d evidence=%d",
+			len(rep.Stores), len(rep.Netsim), len(rep.Schedule), len(rep.Engine),
+			len(rep.CellSharding.Cells), len(rep.Gossip.Runs), len(rep.EvidencePlane.Kinds))
+	}
+	if len(rep.AssessorPath) == 0 {
+		t.Fatal("assessor_path section missing")
+	}
+	for _, row := range rep.AssessorPath {
+		if row.ScanNsPerDecision <= 0 || row.AggregateNsPerDecision <= 0 {
+			t.Errorf("%s pop=%d: non-positive timings: scan=%v aggregate=%v",
+				row.Backend, row.Population, row.ScanNsPerDecision, row.AggregateNsPerDecision)
+		}
+		if row.SpeedupAggregateVsScan <= 1 {
+			t.Errorf("%s pop=%d: aggregate not faster than scan (%.2fx)",
+				row.Backend, row.Population, row.SpeedupAggregateVsScan)
+		}
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunScaleCeilingWritesReportThenFails pins the CI-guard contract of
+// -scale-ceiling-ns: an impossible ceiling makes run() return an error,
+// but only after the report — with both estimator-labeled rows — has been
+// written, so the failing artifact is still inspectable.
+func TestRunScaleCeilingWritesReportThenFails(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scale.json")
+	err := run([]string{
+		"-sections", "scale", "-scale-agents", "1000",
+		"-scale-ceiling-ns", "0.001", "-o", out,
+	})
+	if err == nil {
+		t.Fatal("a 0.001 ns/event ceiling must fail the run")
+	}
+	raw, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("report must be written before the ceiling failure: %v", rerr)
+	}
+	var rep report
+	if jerr := json.Unmarshal(raw, &rep); jerr != nil {
+		t.Fatalf("report does not decode: %v", jerr)
+	}
+	if len(rep.Scale) != 2 {
+		t.Fatalf("want 2 estimator-variant scale rows, got %d", len(rep.Scale))
+	}
+	seen := map[string]bool{}
+	for _, row := range rep.Scale {
+		seen[row.Estimator] = true
+		if row.Agents != 1000 || row.NsPerEvent <= 0 {
+			t.Errorf("bad scale row: agents=%d ns/event=%v", row.Agents, row.NsPerEvent)
+		}
+	}
+	if !seen["beta-private"] || !seen["complaints-sharded"] {
+		t.Errorf("want the baseline and the complaints-sharded estimator rows, got %v", seen)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 10, 20 ,,30 ")
+	if err != nil || len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("parseSizes: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", ",", "x", "10,-5", "0"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) did not error", bad)
+		}
+	}
+}
+
+// TestRunFlagErrors pins that malformed flags fail fast, before any
+// section runs.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale-agents", "nope"},
+		{"-gossip", "not-a-spec:bogus:bogus:bogus"},
+		{"-definitely-not-a-flag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) did not error", args)
+		}
+	}
+}

@@ -57,6 +57,15 @@ type Engine struct {
 	estimatorOf func(trust.PeerID) trust.Estimator
 	repStore    complaints.Store // engine-owned store from Config.RepStore; nil otherwise
 
+	// population and assessor are the reusable complaint-assessment state
+	// (RepStore mode only): one ID slice and one assessor built at
+	// construction, shared by every per-agent estimator — the per-decision
+	// path allocates nothing, and the assessor carries the shared
+	// average-product cache that makes trust reads O(1) (complaints.Aggregator
+	// backends) or one-scan-per-write-burst (generation-counting backends).
+	population []trust.PeerID
+	assessor   complaints.Assessor
+
 	sessions map[int]*session // live sessions by ID
 	nextID   int              // next session to start
 	limit    int              // sessions allowed to start (window budget)
@@ -133,13 +142,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 			store = cfg.GossipNode
 		}
 		e.repStore = store
-		population := make([]trust.PeerID, len(cfg.Agents))
+		e.population = make([]trust.PeerID, len(cfg.Agents))
 		for i, a := range cfg.Agents {
-			population[i] = a.ID
+			e.population[i] = a.ID
 		}
-		assessor := complaints.Assessor{Store: store, Population: population}
+		e.assessor = complaints.NewAssessor(store, e.population)
 		estimatorOf = func(id trust.PeerID) trust.Estimator {
-			return &complaints.Estimator{Assessor: assessor, Observer: id}
+			return &complaints.Estimator{Assessor: e.assessor, Observer: id}
 		}
 	}
 	if cfg.Evidence == trust.EvidencePosterior && cfg.GossipNode != nil {
@@ -312,6 +321,12 @@ func (e *Engine) FinishRun() (Result, error) {
 	}
 	e.result.Sessions = started
 	e.result.NetStats = e.net.Stats()
+	// The event queue is drained: hand the simulator's slot arrays and the
+	// network's delivery structs to netsim's cross-run pools, so the next
+	// engine (the trial runner builds thousands) starts warm instead of
+	// re-growing them from the allocator.
+	e.net.Release()
+	e.sim.Release()
 	return e.result, nil
 }
 

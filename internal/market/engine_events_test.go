@@ -1,0 +1,27 @@
+package market
+
+import (
+	"testing"
+
+	"trustcoop/internal/agent"
+)
+
+// TestEventsExecutedCountsSimulatorEvents pins the denominator of the
+// scale benchmark's events/sec: after a run, the engine reports the
+// simulator events it consumed, and a finished run leaves none pending.
+func TestEventsExecutedCountsSimulatorEvents(t *testing.T) {
+	agents := population(t, agent.PopConfig{Honest: 8}, 5)
+	eng, err := NewEngine(Config{Seed: 5, Sessions: 20, Agents: agents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.EventsExecuted(); got != 0 {
+		t.Fatalf("before the run: EventsExecuted() = %d, want 0", got)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.EventsExecuted(); got < 20 {
+		t.Fatalf("after 20 sessions: EventsExecuted() = %d, want at least one event per session", got)
+	}
+}

@@ -1,0 +1,46 @@
+package netsim
+
+import "testing"
+
+// TestDefaultHandlerAndAccessors pins the shared-dispatch path the engine
+// uses at scale: one SetDefaultHandler call serves every unregistered
+// destination (explicit Register entries still win), and the Sim/Executed
+// accessors expose the event-load numbers the scale benchmarks normalise
+// by.
+func TestDefaultHandlerAndAccessors(t *testing.T) {
+	sim := NewSimulator(1)
+	net := NewNetwork(sim, ConstLatency(0))
+	if net.Sim() != sim {
+		t.Fatal("Sim() must expose the underlying simulator")
+	}
+	var defGot, regGot int
+	net.SetDefaultHandler(func(from NodeID, msg Message) { defGot++ })
+	if err := net.Register(7, func(from NodeID, msg Message) { regGot++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(1, 2, "ping") // no Register entry → default handler
+	net.Send(1, 7, "ping") // explicit entry wins over the default
+	if got := sim.Run(100); got != 2 {
+		t.Fatalf("ran %d events, want 2", got)
+	}
+	if defGot != 1 || regGot != 1 {
+		t.Fatalf("default handler got %d, registered got %d, want 1 and 1", defGot, regGot)
+	}
+	if sim.Executed() != 2 {
+		t.Fatalf("Executed() = %d, want 2", sim.Executed())
+	}
+	st := net.Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.NoRoute != 0 {
+		t.Fatalf("stats = %+v, want 2 sent, 2 delivered, 0 noroute", st)
+	}
+}
+
+// TestStatsAdd pins the fold used when merging sharded simulation runs.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Sent: 1, Delivered: 2, Dropped: 3, Partitioned: 4, NoRoute: 5}
+	a.Add(Stats{Sent: 10, Delivered: 20, Dropped: 30, Partitioned: 40, NoRoute: 50})
+	want := Stats{Sent: 11, Delivered: 22, Dropped: 33, Partitioned: 44, NoRoute: 55}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}

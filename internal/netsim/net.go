@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // NodeID addresses a simulated node.
@@ -72,6 +73,14 @@ type delivery struct {
 // than the bound is simply released to the garbage collector.
 const maxPooledDeliveries = 1024
 
+// deliveryFreePool recycles whole delivery freelists across network
+// lifetimes, the delivery-struct counterpart of the simulator's
+// slotFreePool: pooled entries hold only zeroed delivery structs (fire's
+// contract), adopted by NewNetwork and returned by Release — one pool
+// touch per run on each side, with the per-network slice remaining the
+// lock-free fast path.
+var deliveryFreePool sync.Pool
+
 func (d *delivery) fire() {
 	n := d.net
 	n.stats.Delivered++
@@ -98,14 +107,30 @@ type Network struct {
 }
 
 // NewNetwork returns a network on sim with the given latency model
-// (ConstLatency(0) gives instantaneous delivery).
+// (ConstLatency(0) gives instantaneous delivery). The delivery freelist is
+// adopted from a previously Released network when one is pooled.
 func NewNetwork(sim *Simulator, latency LatencyModel) *Network {
-	return &Network{
+	n := &Network{
 		sim:      sim,
 		latency:  latency,
 		handlers: make(map[NodeID]Handler),
 		groups:   make(map[NodeID]int),
 	}
+	if v := deliveryFreePool.Get(); v != nil {
+		n.pool = v.([]*delivery)
+	}
+	return n
+}
+
+// Release hands the network's delivery freelist to the cross-run pool for
+// the next NewNetwork to adopt. Pooled structs are zeroed, so nothing of
+// this run's payloads leaks to the next. The network remains usable
+// afterwards with a cold freelist. Safe to call repeatedly.
+func (n *Network) Release() {
+	if len(n.pool) > 0 {
+		deliveryFreePool.Put(n.pool)
+	}
+	n.pool = nil
 }
 
 // Register installs the handler for id. Registering an id twice is an error.

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sync"
 )
 
 // Time is virtual time in abstract ticks (the experiments interpret a tick
@@ -102,12 +103,41 @@ type Simulator struct {
 	rng      *rand.Rand // built on first Rand call; see NewSimulator
 }
 
+// slotFreePool recycles whole slot-array freelists across simulator
+// lifetimes: the eval trial runner builds and discards thousands of short
+// simulators, and without a cross-run pool each one re-grows its retired
+// slot arrays from the allocator. A pooled entry is a `[][]event` whose
+// arrays are already cleared (recycle's contract), so adoption is a single
+// slice-header move with no per-array work — the per-simulator freelist
+// stays the lock-free L1, the sync.Pool is only touched once per run on
+// each side (NewSimulator adopt, Release return). Simulators stay
+// single-threaded; only the pool handoff is concurrent-safe.
+var slotFreePool sync.Pool
+
 // NewSimulator returns an empty simulator whose randomness derives entirely
 // from seed. The random source is built on first use — seeding math/rand's
 // lagged-Fibonacci state costs microseconds, which a simulator that never
-// draws (the common pure-latency configuration) should not pay.
+// draws (the common pure-latency configuration) should not pay. The slot
+// freelist is adopted from a previously Released simulator when one is
+// pooled — recycled arrays are cleared, so adoption cannot leak state
+// between runs.
 func NewSimulator(seed int64) *Simulator {
-	return &Simulator{seed: seed}
+	s := &Simulator{seed: seed}
+	if v := slotFreePool.Get(); v != nil {
+		s.free = v.([][]event)
+	}
+	return s
+}
+
+// Release hands the simulator's slot-array freelist to the cross-run pool
+// for the next NewSimulator to adopt. Call it when the simulator is done
+// (market.Engine.FinishRun does); the simulator remains usable afterwards,
+// it just restarts with a cold freelist. Safe to call repeatedly.
+func (s *Simulator) Release() {
+	if len(s.free) > 0 {
+		slotFreePool.Put(s.free)
+	}
+	s.free = nil
 }
 
 // Now returns the current virtual time.

@@ -41,10 +41,21 @@ type ComplaintStore struct {
 }
 
 var (
-	_ complaints.Store      = (*ComplaintStore)(nil)
-	_ complaints.BatchFiler = (*ComplaintStore)(nil)
-	_ complaints.Flusher    = (*ComplaintStore)(nil)
+	_ complaints.Store           = (*ComplaintStore)(nil)
+	_ complaints.BatchFiler      = (*ComplaintStore)(nil)
+	_ complaints.Flusher         = (*ComplaintStore)(nil)
+	_ complaints.MutationCounter = (*ComplaintStore)(nil)
 )
+
+// Mutations implements complaints.MutationCounter via the grid's
+// write-generation counter. The decentralised store cannot maintain the
+// incremental product aggregate (counts live on routed replicas, read by
+// voting), but it can tell an assessor when a cached population average is
+// still valid: between write bursts the generation holds still and the
+// trust-aware hot loop skips the O(N · route) scan entirely.
+func (s *ComplaintStore) Mutations() (gen uint64, ok bool) {
+	return s.Grid.Mutations(), true
+}
 
 // Flush implements complaints.Flusher: it completes any deferred replica
 // broadcasts (Config.DeferReplication), so end-of-run settlement leaves

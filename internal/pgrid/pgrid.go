@@ -135,6 +135,11 @@ type Grid struct {
 	pendingRepl  map[string][]string
 	pendingOrder []string
 
+	// mutations is the write-generation counter behind Mutations: it advances
+	// on every insert attempt, so a cached population average is reused only
+	// while no write could have changed any count.
+	mutations uint64
+
 	// message accounting for the experiments
 	routeHops   int
 	routeCount  int
@@ -278,6 +283,13 @@ func (g *Grid) RouteStats() (routes int, meanHops float64) {
 // DeferReplication it stays at 0 until a read or FlushReplication lands the
 // buffered groups.
 func (g *Grid) StoreWrites() int { return g.storeWrites }
+
+// Mutations returns the grid's write-generation counter: it advances on
+// every insert attempt and holds still across reads (flush-on-read included,
+// which never changes what a count read returns). ComplaintStore exposes it
+// as the complaints.MutationCounter extension, letting an assessor's
+// snapshot cache skip the routed population scan between write bursts.
+func (g *Grid) Mutations() uint64 { return g.mutations }
 
 func bitString(v, width int) string {
 	var sb strings.Builder

@@ -56,6 +56,12 @@ func (g *Grid) InsertBatch(key string, values []string) error {
 	if err := g.checkKey(key); err != nil {
 		return err
 	}
+	// Any insert attempt advances the mutation generation, even one that then
+	// fails to route — a spurious cache invalidation is safe, a missed one is
+	// not. Reads never bump it: a flush-on-read only materialises values a
+	// Query would have seen anyway (every Query flushes its key first), so
+	// count reads are unchanged while the generation holds still.
+	g.mutations++
 	if _, _, err := g.routeFrom(g.rng.Intn(len(g.peers)), key); err != nil {
 		return fmt.Errorf("insert %s: %w", key, err)
 	}

@@ -83,11 +83,14 @@ type AsyncStore struct {
 }
 
 var (
-	_ Store       = (*AsyncStore)(nil)
-	_ Counter     = (*AsyncStore)(nil)
-	_ Flusher     = (*AsyncStore)(nil)
-	_ BatchFiler  = (*AsyncStore)(nil)
-	_ Snapshotter = (*AsyncStore)(nil)
+	_ Store           = (*AsyncStore)(nil)
+	_ Counter         = (*AsyncStore)(nil)
+	_ Flusher         = (*AsyncStore)(nil)
+	_ BatchFiler      = (*AsyncStore)(nil)
+	_ Snapshotter     = (*AsyncStore)(nil)
+	_ Aggregator      = (*AsyncStore)(nil)
+	_ MutationCounter = (*AsyncStore)(nil)
+	_ ReadAccounter   = (*AsyncStore)(nil)
 )
 
 // NewAsyncStore wraps inner per cfg.
@@ -277,6 +280,33 @@ func (s *AsyncStore) CountsAll(peers []trust.PeerID) ([]Tally, error) {
 	s.noteReads(len(peers))
 	return CountsAll(s.inner, peers)
 }
+
+// ProductAggregate implements Aggregator by delegating to the inner store:
+// the inner aggregate reflects exactly the complaints already applied —
+// precisely what a CountsAll scan through this store would sum — so the
+// write-behind staleness semantics are unchanged by the O(1) path. ok=false
+// when the inner store keeps no aggregate.
+func (s *AsyncStore) ProductAggregate() (excess int64, tracked int, ok bool, err error) {
+	if agg, isAgg := s.inner.(Aggregator); isAgg {
+		return agg.ProductAggregate()
+	}
+	return 0, 0, false, nil
+}
+
+// Mutations implements MutationCounter by delegating to the inner store: the
+// generation advances when applied complaints become visible to reads, which
+// is exactly when a cached scanned average goes stale.
+func (s *AsyncStore) Mutations() (gen uint64, ok bool) {
+	if mc, isMC := s.inner.(MutationCounter); isMC {
+		return mc.Mutations()
+	}
+	return 0, false
+}
+
+// NoteScanReads implements ReadAccounter: an averaged read served without a
+// scan still counts as the population-wide read the scan would have been, so
+// Stats' stale-read fraction is identical whichever path the assessor takes.
+func (s *AsyncStore) NoteScanReads(peers int) { s.noteReads(peers) }
 
 // Flush implements Flusher: it blocks until every complaint filed so far is
 // applied to the inner store and returns the first sticky storage error. In

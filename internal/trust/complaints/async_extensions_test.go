@@ -1,0 +1,45 @@
+package complaints
+
+import (
+	"testing"
+
+	"trustcoop/internal/trust"
+)
+
+// counterOnlyStore is a minimal Store with a mutation counter and no
+// aggregate — the shape the pgrid adapter presents — so the write-behind
+// store's delegation legs can be pinned in-package.
+type counterOnlyStore struct {
+	inner *MemoryStore
+	gen   uint64
+}
+
+func (c *counterOnlyStore) File(cm Complaint) error              { return c.inner.File(cm) }
+func (c *counterOnlyStore) Received(p trust.PeerID) (int, error) { return c.inner.Received(p) }
+func (c *counterOnlyStore) Filed(p trust.PeerID) (int, error)    { return c.inner.Filed(p) }
+func (c *counterOnlyStore) Mutations() (uint64, bool)            { return c.gen, true }
+
+// TestAsyncStoreExtensionDelegation pins both legs of each optional
+// extension on the write-behind store: delegated when the inner store has
+// it, reported unavailable (never fabricated) when it does not.
+func TestAsyncStoreExtensionDelegation(t *testing.T) {
+	// A memory inner keeps an aggregate but no mutation counter.
+	s := NewAsyncStore(NewMemoryStore(), AsyncConfig{})
+	defer s.Close()
+	if _, _, ok, err := s.ProductAggregate(); err != nil || !ok {
+		t.Fatalf("aggregate over memory inner: ok=%v err=%v", ok, err)
+	}
+	if _, ok := s.Mutations(); ok {
+		t.Fatal("memory inner keeps no mutation counter; async must not invent one")
+	}
+
+	// A counter-only inner is the opposite shape.
+	s2 := NewAsyncStore(&counterOnlyStore{inner: NewMemoryStore(), gen: 7}, AsyncConfig{})
+	defer s2.Close()
+	if _, _, ok, err := s2.ProductAggregate(); err != nil || ok {
+		t.Fatalf("counter-only inner keeps no aggregate: ok=%v err=%v", ok, err)
+	}
+	if gen, ok := s2.Mutations(); !ok || gen != 7 {
+		t.Fatalf("mutation counter not delegated: gen=%d ok=%v", gen, ok)
+	}
+}

@@ -66,8 +66,8 @@ type Tally struct {
 
 // Snapshotter is an optional Store extension for bulk reads: CountsAll
 // returns the tallies of every listed peer, taking each shard lock once per
-// scan instead of once per peer. The assessor's averageProduct — a
-// population-wide scan executed on every trust decision — is the consumer.
+// scan instead of once per peer. The assessor's AverageProduct scan path —
+// executed when a store serves no O(1) aggregate — is the consumer.
 // CountsAll routes through it when available.
 type Snapshotter interface {
 	// CountsAll returns one Tally per peer, indexed like peers.
@@ -121,6 +121,54 @@ type Flusher interface {
 	Flush() error
 }
 
+// Aggregator is an optional Store extension that makes the assessor's
+// population average O(1): the store maintains the running complaint-product
+// aggregate incrementally, inside the same critical sections that mutate the
+// counts, so a trust decision no longer pays a population-wide scan.
+//
+// The aggregate is reported as excess = Σ over every tracked peer of
+// (smoothedProduct(received, filed) − 1) — an exact integer, because each
+// product is a product of two small integers. A peer with no complaints
+// contributes product 1 and excess 0, so the population average over n peers
+// is exactly (n + excess)/n whenever every tracked peer belongs to the
+// population. Both the scan's per-peer products and their float64 sum are
+// exact integers far below 2^53 (counts are bounded by complaints filed,
+// products by counts², and the repo's largest runs stay under ~4·10^14), so
+// the aggregate path reproduces the scanned average bit for bit — the
+// equivalence the registry property test pins.
+//
+// tracked counts peers with at least one nonzero counter; the assessor uses
+// it as a safety net (tracked > len(Population) proves a complaint mentions
+// an outsider, so the aggregate would over-count and the scan is used
+// instead). ok=false means the store cannot serve the aggregate (a decorator
+// over a non-aggregating inner store); the caller falls back as if the
+// extension were absent.
+type Aggregator interface {
+	ProductAggregate() (excess int64, tracked int, ok bool, err error)
+}
+
+// MutationCounter is an optional Store extension for backends that cannot
+// maintain the incremental aggregate (the routed P-Grid store): Mutations
+// reports a counter that advances whenever the counts a read could observe
+// change. The assessor's write-generation snapshot cache reuses a scanned
+// average until the generation moves, which collapses read-heavy phases
+// (many decisions between writes) to one scan per generation. ok=false means
+// the store has no counter (the caller scans every time).
+type MutationCounter interface {
+	Mutations() (gen uint64, ok bool)
+}
+
+// ReadAccounter is an optional Store extension for decorators that keep
+// staleness accounting on their read path (AsyncStore, gossip nodes): when
+// the assessor serves a population average from the O(1) aggregate or the
+// generation cache instead of a CountsAll scan, it reports the reads the
+// scan would have performed through NoteScanReads, so stale-read fractions
+// stay bit-identical to the scanning implementation. Decorators must
+// propagate the call to an accounting inner store.
+type ReadAccounter interface {
+	NoteScanReads(peers int)
+}
+
 // counts reads both complaint counts, through Counter when the store
 // provides the combined lookup.
 func counts(s Store, p trust.PeerID) (received, filed int, err error) {
@@ -144,6 +192,10 @@ type MemoryStore struct {
 	mu       sync.Mutex
 	received map[trust.PeerID]int
 	filed    map[trust.PeerID]int
+	// excess and tracked are the Aggregator state, maintained under mu by the
+	// same bumps that mutate the maps (see fileLocked).
+	excess  int64
+	tracked int
 }
 
 // NewMemoryStore returns an empty store.
@@ -155,14 +207,35 @@ var (
 	_ Store       = (*MemoryStore)(nil)
 	_ BatchFiler  = (*MemoryStore)(nil)
 	_ Snapshotter = (*MemoryStore)(nil)
+	_ Aggregator  = (*MemoryStore)(nil)
 )
+
+// fileLocked lands one complaint under mu, keeping the product aggregate in
+// step: a received bump moves the peer's product from (r+1)(f+1) to
+// (r+2)(f+1), so excess grows by exactly f+1 read at bump time (and
+// symmetrically r+1 for a filed bump). The deltas telescope, so any
+// interleaving of bumps leaves excess equal to Σ(product−1) exactly.
+func (s *MemoryStore) fileLocked(c Complaint) {
+	r, f := s.received[c.About], s.filed[c.About]
+	if r == 0 && f == 0 {
+		s.tracked++
+	}
+	s.received[c.About] = r + 1
+	s.excess += int64(f) + 1
+	// Re-read From's counters: for a self-complaint they just changed.
+	r, f = s.received[c.From], s.filed[c.From]
+	if r == 0 && f == 0 {
+		s.tracked++
+	}
+	s.filed[c.From] = f + 1
+	s.excess += int64(r) + 1
+}
 
 // File implements Store.
 func (s *MemoryStore) File(c Complaint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.received[c.About]++
-	s.filed[c.From]++
+	s.fileLocked(c)
 	return nil
 }
 
@@ -175,10 +248,17 @@ func (s *MemoryStore) FileBatch(batch []Complaint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range batch {
-		s.received[c.About]++
-		s.filed[c.From]++
+		s.fileLocked(c)
 	}
 	return nil
+}
+
+// ProductAggregate implements Aggregator: the running excess maintained by
+// fileLocked, served with one lock acquisition however large the population.
+func (s *MemoryStore) ProductAggregate() (excess int64, tracked int, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.excess, s.tracked, true, nil
 }
 
 // CountsAll implements Snapshotter: one lock acquisition for the whole scan.
@@ -209,13 +289,45 @@ func (s *MemoryStore) Filed(p trust.PeerID) (int, error) {
 // Assessor turns complaint counts into trust decisions following the
 // original decision rule: peer q is considered dishonest when its complaint
 // product cr(q)·cf(q) exceeds Factor times the population average.
+//
+// The population average is served in O(1) whenever the store implements
+// Aggregator. Assessors built with NewAssessor additionally arm a
+// write-generation snapshot cache for stores that only implement
+// MutationCounter (the routed P-Grid store); a literal Assessor{...} keeps
+// the cache off and scans, which matters for stores whose reads consume
+// randomness (replica-voting reads on a grid with malicious peers), where
+// skipping scans would shift the read schedule.
 type Assessor struct {
 	// Store holds the complaint data.
 	Store Store
 	// Factor is the decision threshold multiplier; 0 means DefaultFactor.
 	Factor float64
-	// Population lists the peers over which averages are computed.
+	// Population lists the peers over which averages are computed. For the
+	// O(1) aggregate to be used, the population must cover every peer that
+	// appears in a complaint — true for the engine and every experiment,
+	// and guarded at read time via the aggregate's tracked count.
 	Population []trust.PeerID
+
+	// cache is the write-generation snapshot cache, shared by every copy of
+	// an assessor built with NewAssessor; nil disables it.
+	cache *avgCache
+}
+
+// avgCache memoises one scanned population average keyed by the store's
+// mutation generation. Mutex-guarded so concurrent readers sharing an
+// assessor stay race-free; the engine's single-threaded loop never contends.
+type avgCache struct {
+	mu    sync.Mutex
+	gen   uint64
+	avg   float64
+	valid bool
+}
+
+// NewAssessor returns an assessor over store and population with the
+// write-generation snapshot cache armed. Estimators built from the returned
+// value (it is copied freely) share one cache.
+func NewAssessor(store Store, population []trust.PeerID) Assessor {
+	return Assessor{Store: store, Population: population, cache: &avgCache{}}
 }
 
 // DefaultFactor is the decision threshold used by the original evaluation.
@@ -244,14 +356,74 @@ func (a Assessor) Product(q trust.PeerID) (float64, error) {
 	return smoothedProduct(cr, cf), nil
 }
 
-// averageProduct is the population mean of the complaint product. The scan
-// goes through CountsAll, so a Snapshotter store serves it with one lock
-// pass per shard instead of one locked lookup per population member — the
-// trust-aware planner runs this scan on every decision.
-func (a Assessor) averageProduct() (float64, error) {
-	if len(a.Population) == 0 {
+// AverageProduct is the population mean of the complaint product — the
+// normaliser of every trust decision. Three paths, in preference order:
+//
+//  1. Aggregator: the store's incrementally maintained excess gives the
+//     average as (n + excess)/n in O(1). Exact-integer arithmetic makes it
+//     bit-identical to the scan (see Aggregator). If the aggregate tracks
+//     more peers than the population holds, a complaint mentions an
+//     outsider and the scan is used instead.
+//  2. MutationCounter + cache (NewAssessor only): the scanned average is
+//     reused until the store's mutation generation moves — one scan per
+//     write burst instead of one per decision.
+//  3. CountsAll scan: a Snapshotter store serves it with one lock pass per
+//     shard instead of one locked lookup per population member.
+//
+// Paths 1 and 2 report the reads the scan would have performed through
+// ReadAccounter, so a write-behind or gossip store's stale-read accounting
+// is identical whichever path serves the average.
+func (a Assessor) AverageProduct() (float64, error) {
+	n := len(a.Population)
+	if n == 0 {
 		return 1, nil
 	}
+	if agg, isAgg := a.Store.(Aggregator); isAgg {
+		excess, tracked, ok, err := agg.ProductAggregate()
+		switch {
+		case err != nil:
+			return 0, err
+		case ok && tracked <= n:
+			a.noteScanReads()
+			return float64(int64(n)+excess) / float64(n), nil
+		case ok:
+			// Complaints mention peers outside Population; the aggregate
+			// would over-count them, so fall back to the exact scan.
+			return a.scanAverage()
+		}
+		// ok=false: a decorator over a non-aggregating inner store — try the
+		// generation cache next, exactly as if Aggregator were absent.
+	}
+	if a.cache != nil {
+		if mc, isMC := a.Store.(MutationCounter); isMC {
+			if gen, ok := mc.Mutations(); ok {
+				a.cache.mu.Lock()
+				if a.cache.valid && a.cache.gen == gen {
+					avg := a.cache.avg
+					a.cache.mu.Unlock()
+					a.noteScanReads()
+					return avg, nil
+				}
+				a.cache.mu.Unlock()
+				// gen was read before the scan, so a write racing the scan
+				// at worst invalidates a fresh entry — never the reverse.
+				avg, err := a.scanAverage()
+				if err != nil {
+					return 0, err
+				}
+				a.cache.mu.Lock()
+				a.cache.gen, a.cache.avg, a.cache.valid = gen, avg, true
+				a.cache.mu.Unlock()
+				return avg, nil
+			}
+		}
+	}
+	return a.scanAverage()
+}
+
+// scanAverage is the full CountsAll scan — the O(N) baseline the aggregate
+// and the generation cache must reproduce bit for bit.
+func (a Assessor) scanAverage() (float64, error) {
 	tallies, err := CountsAll(a.Store, a.Population)
 	if err != nil {
 		return 0, err
@@ -263,10 +435,18 @@ func (a Assessor) averageProduct() (float64, error) {
 	return sum / float64(len(a.Population)), nil
 }
 
+// noteScanReads reports the population-wide read the assessor just served
+// without a scan, keeping decorator staleness accounting scan-identical.
+func (a Assessor) noteScanReads() {
+	if ra, ok := a.Store.(ReadAccounter); ok {
+		ra.NoteScanReads(len(a.Population))
+	}
+}
+
 // NormalisedScore is the peer's complaint product relative to the
 // population average: ~1 for an ordinary peer, large for cheaters.
 func (a Assessor) NormalisedScore(q trust.PeerID) (float64, error) {
-	avg, err := a.averageProduct()
+	avg, err := a.AverageProduct()
 	if err != nil {
 		return 0, err
 	}

@@ -3,6 +3,7 @@ package complaints
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"trustcoop/internal/trust"
 )
@@ -18,12 +19,19 @@ type shardedEntry struct {
 }
 
 // shardedShard is one lock stripe, padded to a full 64-byte cache line
-// (mutex 8 + map header 8 + 48) so neighbouring shard locks never
-// false-share: contention on one stripe stays on its own line.
+// (mutex 8 + map header 8 + two aggregate words 16 + 32) so neighbouring
+// shard locks never false-share: contention on one stripe stays on its own
+// line. excess and tracked are the stripe's partial product aggregate
+// (Aggregator): written only under mu by the same bumps that mutate the
+// counters, read lock-free by ProductAggregate's fold — per-stripe sums, so
+// a population-wide average never takes a lock and writers on different
+// stripes never touch each other's aggregate line.
 type shardedShard struct {
-	mu sync.Mutex
-	m  map[trust.PeerID]*shardedEntry
-	_  [48]byte
+	mu      sync.Mutex
+	m       map[trust.PeerID]*shardedEntry
+	excess  atomic.Int64
+	tracked atomic.Int64
+	_       [32]byte
 }
 
 // ShardedStore is the contention-resistant centralised Store: peers are
@@ -43,6 +51,7 @@ var (
 	_ Counter     = (*ShardedStore)(nil)
 	_ BatchFiler  = (*ShardedStore)(nil)
 	_ Snapshotter = (*ShardedStore)(nil)
+	_ Aggregator  = (*ShardedStore)(nil)
 )
 
 // NewShardedStore returns an empty store with the given shard count rounded
@@ -72,16 +81,7 @@ func (s *ShardedStore) shard(p trust.PeerID) *shardedShard {
 func (s *ShardedStore) bump(p trust.PeerID, filed bool) {
 	sh := s.shard(p)
 	sh.mu.Lock()
-	e := sh.m[p]
-	if e == nil {
-		e = &shardedEntry{}
-		sh.m[p] = e
-	}
-	if filed {
-		e.filed++
-	} else {
-		e.received++
-	}
+	sh.bumpLocked(p, filed)
 	sh.mu.Unlock()
 }
 
@@ -124,16 +124,23 @@ func (s *ShardedStore) shardIdx(p trust.PeerID) uint64 {
 }
 
 // bumpLocked increments one counter of p on a shard whose lock the caller
-// holds.
+// holds, keeping the stripe's partial product aggregate in step: a received
+// bump moves p's product from (r+1)(f+1) to (r+2)(f+1), growing excess by
+// exactly f+1 read at bump time (symmetrically r+1 for a filed bump). The
+// deltas telescope under any interleaving, so the folded excess always
+// equals Σ(product−1) exactly — integer arithmetic, no float drift.
 func (sh *shardedShard) bumpLocked(p trust.PeerID, filed bool) {
 	e := sh.m[p]
 	if e == nil {
 		e = &shardedEntry{}
 		sh.m[p] = e
+		sh.tracked.Add(1)
 	}
 	if filed {
+		sh.excess.Add(int64(e.received) + 1)
 		e.filed++
 	} else {
+		sh.excess.Add(int64(e.filed) + 1)
 		e.received++
 	}
 }
@@ -195,6 +202,20 @@ func (s *ShardedStore) FileBatch(batch []Complaint) error {
 		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// ProductAggregate implements Aggregator: the per-stripe partial sums are
+// folded with one atomic load pair per stripe — no locks, no map touches —
+// so the population average costs O(shards) regardless of population size.
+// Writers publish each partial under their stripe lock, so a quiesced store
+// folds to exactly what a CountsAll scan would sum.
+func (s *ShardedStore) ProductAggregate() (excess int64, tracked int, ok bool, err error) {
+	var t int64
+	for i := range s.shards {
+		excess += s.shards[i].excess.Load()
+		t += s.shards[i].tracked.Load()
+	}
+	return excess, int(t), true, nil
 }
 
 // CountsAll implements Snapshotter: the population scan takes each touched

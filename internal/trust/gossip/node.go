@@ -56,11 +56,14 @@ type Node struct {
 }
 
 var (
-	_ complaints.Store       = (*Node)(nil)
-	_ complaints.Counter     = (*Node)(nil)
-	_ complaints.BatchFiler  = (*Node)(nil)
-	_ complaints.Snapshotter = (*Node)(nil)
-	_ complaints.Flusher     = (*Node)(nil)
+	_ complaints.Store           = (*Node)(nil)
+	_ complaints.Counter         = (*Node)(nil)
+	_ complaints.BatchFiler      = (*Node)(nil)
+	_ complaints.Snapshotter     = (*Node)(nil)
+	_ complaints.Flusher         = (*Node)(nil)
+	_ complaints.Aggregator      = (*Node)(nil)
+	_ complaints.MutationCounter = (*Node)(nil)
+	_ complaints.ReadAccounter   = (*Node)(nil)
 )
 
 // Attach binds the node to the shard's complaint store. The engine calls it
@@ -257,6 +260,52 @@ func (n *Node) Counts(p trust.PeerID) (received, filed int, err error) {
 func (n *Node) CountsAll(peers []trust.PeerID) ([]complaints.Tally, error) {
 	n.fabric.noteReads(n.index, len(peers))
 	return complaints.CountsAll(n.store(), peers)
+}
+
+// ProductAggregate implements complaints.Aggregator by delegating to the
+// inner store. Remote deltas land through complaints.FileAll (applyDelta),
+// i.e. the same batched write path that maintains the inner aggregate — so
+// gossip-applied evidence is aggregated for free and the O(1) average sees
+// exactly what a CountsAll scan through this node would. ok=false before
+// Attach, for typed-carrier nodes, and over non-aggregating inner stores.
+func (n *Node) ProductAggregate() (excess int64, tracked int, ok bool, err error) {
+	n.mu.Lock()
+	inner := n.inner
+	n.mu.Unlock()
+	if agg, isAgg := inner.(complaints.Aggregator); isAgg {
+		return agg.ProductAggregate()
+	}
+	return 0, 0, false, nil
+}
+
+// Mutations implements complaints.MutationCounter by delegating to the inner
+// store (ok=false when it keeps no counter).
+func (n *Node) Mutations() (gen uint64, ok bool) {
+	n.mu.Lock()
+	inner := n.inner
+	n.mu.Unlock()
+	if mc, isMC := inner.(complaints.MutationCounter); isMC {
+		return mc.Mutations()
+	}
+	return 0, false
+}
+
+// NoteScanReads implements complaints.ReadAccounter: an average served from
+// the aggregate counts like the CountsAll scan it replaces — len(population)
+// reads sharing one staleness observation against the fabric's ledger — and
+// the call is propagated to an accounting inner store (a write-behind store
+// under this node keeps its own stale-read fraction scan-identical).
+func (n *Node) NoteScanReads(peers int) {
+	if peers <= 0 {
+		return
+	}
+	n.fabric.noteReads(n.index, peers)
+	n.mu.Lock()
+	inner := n.inner
+	n.mu.Unlock()
+	if ra, isRA := inner.(complaints.ReadAccounter); isRA {
+		ra.NoteScanReads(peers)
+	}
 }
 
 // Flush implements complaints.Flusher, draining a write-behind inner store.

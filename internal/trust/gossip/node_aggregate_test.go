@@ -1,0 +1,92 @@
+package gossip
+
+import (
+	"testing"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// TestNodeDelegatesAggregateAcrossExchange pins the free ride the tentpole
+// claims for gossip: remote complaint deltas land through applyDelta →
+// complaints.FileAll, the same batched write path that maintains the inner
+// store's incremental aggregate — so after an exchange, every node's O(1)
+// aggregate equals a full scan of that node's store, local and remote
+// evidence alike. Also covers the delegation plumbing: a node over an
+// aggregating store serves ProductAggregate, a node over the plain-Store
+// path reports ok=false.
+func TestNodeDelegatesAggregateAcrossExchange(t *testing.T) {
+	const shards = 2
+	f, err := NewFabric(Config{Period: 1}, 21, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []trust.PeerID{"a", "b", "c", "d"}
+	for k := 0; k < shards; k++ {
+		f.Node(k).Attach(complaints.NewShardedStore(4))
+	}
+	if err := f.Node(0).File(complaints.Complaint{From: "a", About: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Node(1).FileBatch([]complaints.Complaint{
+		{From: "c", About: "d"},
+		{From: "d", About: "c"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Exchange(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < shards; k++ {
+		node := f.Node(k)
+		excess, tracked, ok, err := node.ProductAggregate()
+		if err != nil || !ok {
+			t.Fatalf("node %d: aggregate ok=%v err=%v", k, ok, err)
+		}
+		tallies, err := node.CountsAll(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantExcess int64
+		wantTracked := 0
+		for _, ty := range tallies {
+			wantExcess += int64(ty.Received+1)*int64(ty.Filed+1) - 1
+			if ty.Received != 0 || ty.Filed != 0 {
+				wantTracked++
+			}
+		}
+		if excess != wantExcess || tracked != wantTracked {
+			t.Fatalf("node %d: aggregate diverged after exchange: excess %d (want %d), tracked %d (want %d)",
+				k, excess, wantExcess, tracked, wantTracked)
+		}
+	}
+}
+
+// plainStore implements only the minimal complaints.Store contract.
+type plainStore struct{ inner *complaints.MemoryStore }
+
+func (p plainStore) File(c complaints.Complaint) error    { return p.inner.File(c) }
+func (p plainStore) Received(q trust.PeerID) (int, error) { return p.inner.Received(q) }
+func (p plainStore) Filed(q trust.PeerID) (int, error)    { return p.inner.Filed(q) }
+
+// TestNodeAggregateUnavailableOverPlainStore pins the decorator contract's
+// ok=false leg: over an inner store with no aggregate (and no mutation
+// counter), the node must report both extensions unavailable instead of
+// fabricating values — the assessor then falls back to the scan.
+func TestNodeAggregateUnavailableOverPlainStore(t *testing.T) {
+	f, err := NewFabric(Config{Period: 1}, 22, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Node(0)
+	n.Attach(plainStore{inner: complaints.NewMemoryStore()})
+	if _, _, ok, err := n.ProductAggregate(); ok || err != nil {
+		t.Fatalf("expected ok=false over plain store, got ok=%v err=%v", ok, err)
+	}
+	if _, ok := n.Mutations(); ok {
+		t.Fatal("expected no mutation counter over plain store")
+	}
+}
