@@ -42,6 +42,7 @@ import (
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
 	"trustcoop/internal/trust/gossip"
+	"trustcoop/internal/trustd"
 )
 
 type experimentRun struct {
@@ -197,6 +198,29 @@ type assessorPathRun struct {
 	SpeedupAggregateVsScan float64 `json:"speedup_aggregate_vs_scan"`
 }
 
+// trustdRun is one row of the trustd section: the service wrapper's own
+// costs on top of the evidence plane (PR 8) — durable ingest (WAL append +
+// store apply per batch), the query path cold (snapshot-cache miss: one
+// population average + one combined counts read) and warm (cache hit), and
+// crash recovery measured as WAL-replay throughput on a fresh Open of the
+// ingested directory.
+type trustdRun struct {
+	Backend    string `json:"backend"`
+	Batches    int    `json:"batches"`
+	BatchSize  int    `json:"batch_size"`
+	Population int    `json:"population"`
+	// Ingest costs are the in-process Server.Ingest path (no HTTP), fsync
+	// off — the same write-through the crash tests tear.
+	IngestNsPerBatch     float64 `json:"ingest_ns_per_batch"`
+	IngestNsPerComplaint float64 `json:"ingest_ns_per_complaint"`
+	QueryNsCold          float64 `json:"query_ns_cold"`
+	QueryNsWarm          float64 `json:"query_ns_warm"`
+	WALBytes             int64   `json:"wal_bytes"`
+	// Recovery replays the whole WAL (no checkpoint) into a fresh store.
+	RecoverySeconds          float64 `json:"recovery_seconds"`
+	RecoveryComplaintsPerSec float64 `json:"recovery_complaints_per_sec"`
+}
+
 type report struct {
 	Generated     string              `json:"generated"`
 	GoVersion     string              `json:"go_version"`
@@ -211,6 +235,7 @@ type report struct {
 	Netsim        []netsimReport      `json:"netsim_timer_wheel,omitempty"`
 	Scale         []scaleRun          `json:"scale,omitempty"`
 	AssessorPath  []assessorPathRun   `json:"assessor_path,omitempty"`
+	Trustd        []trustdRun         `json:"trustd,omitempty"`
 	Stores        []storeReport       `json:"store_contention,omitempty"`
 	CellSharding  cellShardingReport  `json:"cell_sharding,omitzero"`
 	Gossip        gossipReport        `json:"gossip,omitzero"`
@@ -284,7 +309,7 @@ func run(args []string) error {
 	scaleCeiling := fs.Float64("scale-ceiling-ns", 0,
 		"fail (exit nonzero, after writing the report) if any scale row exceeds this ns/event; 0 disables — the CI guard that trust decisions stay O(1) in the population")
 	sections := fs.String("sections", "",
-		"comma-separated subset of sections to run (experiments,schedule,engine,stores,cells,gossip,evidence,netsim,assessor); empty runs them all; 'scale' here implies -scale")
+		"comma-separated subset of sections to run (experiments,schedule,engine,stores,cells,gossip,evidence,netsim,assessor,trustd); empty runs them all; 'scale' here implies -scale")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof; see docs/PERF.md)")
 	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to this file at exit (see docs/PERF.md)")
 	if err := fs.Parse(args); err != nil {
@@ -409,7 +434,18 @@ func run(args []string) error {
 			"was O(agents) per decision before the aggregate — so its " +
 			"ns_per_event staying flat from 1e4 to 1e6 agents is the " +
 			"tentpole's end-to-end evidence; -scale-ceiling-ns turns that " +
-			"flatness into a CI guard",
+			"flatness into a CI guard; " +
+			"trustd (PR 8) prices the service wrapper per backend: " +
+			"ingest_ns_per_batch is the in-process durable ingest path — " +
+			"length-prefixed checksummed WAL append (the ack barrier), " +
+			"FileBatch apply, generation bump — fsync off and no " +
+			"auto-checkpoint so the recovery row replays the whole log; " +
+			"query_ns_cold is a generation's first read of a peer (one " +
+			"population average plus one combined counts read, exactly a " +
+			"direct NormalisedScore), query_ns_warm the snapshot-cache hit " +
+			"that skips both; recovery_complaints_per_sec is a fresh Open " +
+			"replaying the ingested directory, from the server's own " +
+			"recovery clock (store construction excluded)",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -540,6 +576,13 @@ func run(args []string) error {
 
 	if want("assessor") {
 		rep.AssessorPath, err = benchAssessorPath(*quick, *reps)
+		if err != nil {
+			return err
+		}
+	}
+
+	if want("trustd") {
+		rep.Trustd, err = benchTrustd(*quick, *reps)
 		if err != nil {
 			return err
 		}
@@ -1080,6 +1123,128 @@ func benchAssessorPath(quick bool, reps int) ([]assessorPathRun, error) {
 			fmt.Fprintf(os.Stderr, "assessor %s pop=%d: scan %.0f ns/decision, aggregate %.0f ns/decision (%.1fx)\n",
 				backend, pop, row.ScanNsPerDecision, row.AggregateNsPerDecision, row.SpeedupAggregateVsScan)
 		}
+	}
+	return out, nil
+}
+
+// benchTrustd measures the trustd service wrapper (PR 8) per backend: what
+// the durability and serving layers add on top of the raw evidence plane.
+// Ingest is the in-process Server.Ingest path — WAL append (the ack
+// barrier), store apply, generation bump — fsync off, no auto-checkpoint, so
+// recovery below replays the whole log. Queries split by the snapshot cache:
+// cold is a per-generation first read of each peer (one population average
+// plus one combined counts read), warm is the memoised hit. Recovery is a
+// fresh Open of the ingested directory, reported as replayed complaints per
+// second from the server's own recovery clock.
+func benchTrustd(quick bool, reps int) ([]trustdRun, error) {
+	const pop, batchSize = 64, 16
+	batches := 4096
+	warmQueries := 200_000
+	if quick {
+		batches = 512
+		warmQueries = 20_000
+	}
+	ids := benchutil.StorePeers(pop)
+	work := make([][]complaints.Complaint, batches)
+	for i := range work {
+		b := make([]complaints.Complaint, batchSize)
+		for j := range b {
+			k := i*batchSize + j
+			b[j] = complaints.Complaint{From: ids[(k*7)%pop], About: ids[(k*13+3)%pop]}
+		}
+		work[i] = b
+	}
+
+	var out []trustdRun
+	for _, backend := range []string{"sharded", "async:sharded"} {
+		row := trustdRun{Backend: backend, Batches: batches, BatchSize: batchSize, Population: pop}
+		bestIngest := time.Duration(0)
+		bestRecovery := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			dir, err := os.MkdirTemp("", "bench-trustd-*")
+			if err != nil {
+				return nil, err
+			}
+			opts := trustd.Options{Dir: dir, Backend: backend, Population: ids}
+			srv, err := trustd.Open(opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			start := time.Now()
+			for _, b := range work {
+				if err := srv.Ingest(b); err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+			}
+			if err := srv.Flush(); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if d := time.Since(start); bestIngest == 0 || d < bestIngest {
+				bestIngest = d
+			}
+			row.WALBytes = srv.Stats().WALBytes
+
+			// Cold: the generation just changed, so the first read of each
+			// peer computes and memoises. Warm: every later read is a hit.
+			start = time.Now()
+			for _, id := range ids {
+				if _, err := srv.ScoreOf(id); err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+			}
+			cold := float64(time.Since(start).Nanoseconds()) / float64(len(ids))
+			if row.QueryNsCold == 0 || cold < row.QueryNsCold {
+				row.QueryNsCold = cold
+			}
+			start = time.Now()
+			for i := 0; i < warmQueries; i++ {
+				if _, err := srv.ScoreOf(ids[i%pop]); err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+			}
+			warm := float64(time.Since(start).Nanoseconds()) / float64(warmQueries)
+			if row.QueryNsWarm == 0 || warm < row.QueryNsWarm {
+				row.QueryNsWarm = warm
+			}
+			if err := srv.Close(); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+
+			srv2, err := trustd.Open(opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			st := srv2.Stats()
+			if got := int(st.RecoveredBatches); got != batches {
+				srv2.Close()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("trustd %s: recovery replayed %d batches, ingested %d", backend, got, batches)
+			}
+			if d := time.Duration(st.RecoveryNs); bestRecovery == 0 || d < bestRecovery {
+				bestRecovery = d
+			}
+			if err := srv2.Close(); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			os.RemoveAll(dir)
+		}
+		row.IngestNsPerBatch = float64(bestIngest.Nanoseconds()) / float64(batches)
+		row.IngestNsPerComplaint = row.IngestNsPerBatch / batchSize
+		row.RecoverySeconds = bestRecovery.Seconds()
+		if s := bestRecovery.Seconds(); s > 0 {
+			row.RecoveryComplaintsPerSec = float64(batches*batchSize) / s
+		}
+		out = append(out, row)
+		fmt.Fprintf(os.Stderr, "trustd %s: ingest %.0f ns/batch, query %.0f/%.0f ns cold/warm, recovery %.0f complaints/s\n",
+			backend, row.IngestNsPerBatch, row.QueryNsCold, row.QueryNsWarm, row.RecoveryComplaintsPerSec)
 	}
 	return out, nil
 }

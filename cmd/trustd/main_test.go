@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadgenModeClosedLoop runs the full self-contained closed loop — real
+// listener, real HTTP, a restart from disk — and requires zero divergence.
+func TestLoadgenModeClosedLoop(t *testing.T) {
+	err := run([]string{"-loadgen", "-sessions", "40", "-batch", "8", "-seed", "3", "-checkpoint-every", "64"})
+	if err != nil {
+		t.Fatalf("loadgen closed loop failed: %v", err)
+	}
+}
+
+func TestServeModeRequiresDir(t *testing.T) {
+	err := run(nil)
+	if err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("serve mode without -dir returned %v, want a -dir error", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

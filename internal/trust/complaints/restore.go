@@ -1,0 +1,130 @@
+package complaints
+
+import (
+	"fmt"
+
+	"trustcoop/internal/trust"
+)
+
+// TallyLoader is an optional Store extension for checkpoint restore
+// (internal/trustd): LoadTallies installs both complaint counters of every
+// listed peer into a store that does not hold complaints about them yet —
+// the inverse of the Snapshotter bulk read, so checkpoint+restore round-trips
+// a store's entire observable state. Implementations must keep every derived
+// aggregate (the Aggregator excess/tracked pair) exactly as if the loaded
+// counts had accumulated through File — that is what makes a restored node's
+// trust decisions bit-identical to the never-crashed store's.
+//
+// Loading a peer that already has a nonzero counter is an error: restore is
+// defined only into fresh state, and silently adding on top of live counts
+// would corrupt both the counters and the aggregate.
+type TallyLoader interface {
+	LoadTallies(peers []trust.PeerID, tallies []Tally) error
+}
+
+// LoadAll installs checkpoint tallies through the store's TallyLoader.
+// Backends without the extension (the routed P-Grid store) cannot restore a
+// snapshot and report it as an error, so callers fail at restore time rather
+// than serving silently empty counts.
+func LoadAll(s Store, peers []trust.PeerID, tallies []Tally) error {
+	if len(peers) != len(tallies) {
+		return fmt.Errorf("complaints: LoadAll with %d peers but %d tallies", len(peers), len(tallies))
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	tl, ok := s.(TallyLoader)
+	if !ok {
+		return fmt.Errorf("complaints: store %T cannot restore checkpoint tallies", s)
+	}
+	return tl.LoadTallies(peers, tallies)
+}
+
+// loadExcess is the Aggregator contribution of one restored tally: the
+// peer's smoothed product minus the baseline 1 an untracked peer carries.
+// Products are exact small integers (see Aggregator), so int64 arithmetic
+// reproduces the telescoped File-path excess bit for bit.
+func loadExcess(t Tally) int64 {
+	return int64(t.Received+1)*int64(t.Filed+1) - 1
+}
+
+var (
+	_ TallyLoader = (*MemoryStore)(nil)
+	_ TallyLoader = (*ShardedStore)(nil)
+	_ TallyLoader = (*AsyncStore)(nil)
+)
+
+// LoadTallies implements TallyLoader: the whole snapshot lands under one lock
+// acquisition, with the product aggregate advanced by exactly what the loaded
+// counts contribute.
+func (s *MemoryStore) LoadTallies(peers []trust.PeerID, tallies []Tally) error {
+	if len(peers) != len(tallies) {
+		return fmt.Errorf("complaints: LoadTallies with %d peers but %d tallies", len(peers), len(tallies))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range peers {
+		t := tallies[i]
+		if s.received[p] != 0 || s.filed[p] != 0 {
+			return fmt.Errorf("complaints: LoadTallies over live counts for peer %q", p)
+		}
+		if t.Received == 0 && t.Filed == 0 {
+			continue
+		}
+		s.received[p] = t.Received
+		s.filed[p] = t.Filed
+		s.tracked++
+		s.excess += loadExcess(t)
+	}
+	return nil
+}
+
+// LoadTallies implements TallyLoader: tallies are grouped by stripe so every
+// shard lock is taken at most once per restore, and each stripe's partial
+// aggregate is advanced under its own lock — the same discipline FileBatch
+// follows.
+func (s *ShardedStore) LoadTallies(peers []trust.PeerID, tallies []Tally) error {
+	if len(peers) != len(tallies) {
+		return fmt.Errorf("complaints: LoadTallies with %d peers but %d tallies", len(peers), len(tallies))
+	}
+	stripes := make([]uint32, len(peers))
+	for i, p := range peers {
+		stripes[i] = uint32(s.shardIdx(p))
+	}
+	starts, ordered := groupByStripe(stripes, len(s.shards))
+	for st := range s.shards {
+		lo, hi := starts[st], starts[st+1]
+		if lo == hi {
+			continue
+		}
+		sh := &s.shards[st]
+		sh.mu.Lock()
+		for _, i := range ordered[lo:hi] {
+			p, t := peers[i], tallies[i]
+			if e := sh.m[p]; e != nil && (e.received != 0 || e.filed != 0) {
+				sh.mu.Unlock()
+				return fmt.Errorf("complaints: LoadTallies over live counts for peer %q", p)
+			}
+			if t.Received == 0 && t.Filed == 0 {
+				continue
+			}
+			sh.m[p] = &shardedEntry{received: t.Received, filed: t.Filed}
+			sh.tracked.Add(1)
+			sh.excess.Add(loadExcess(t))
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// LoadTallies implements TallyLoader by delegating to the inner store:
+// restore happens before any traffic, so there is never a write-behind
+// backlog to reconcile, and reads through the decorator see the restored
+// counts immediately.
+func (s *AsyncStore) LoadTallies(peers []trust.PeerID, tallies []Tally) error {
+	tl, ok := s.inner.(TallyLoader)
+	if !ok {
+		return fmt.Errorf("complaints: async inner store %T cannot restore checkpoint tallies", s.inner)
+	}
+	return tl.LoadTallies(peers, tallies)
+}

@@ -1,0 +1,147 @@
+package complaints
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"trustcoop/internal/trust"
+)
+
+// loaderBackends are the registry specs whose stores restore checkpoints.
+var loaderBackends = []string{"memory", "sharded", "async:sharded", "async:memory"}
+
+// renderTallies is the restore tests' comparable form of a store's state:
+// every peer's counters plus the Aggregator pair, as one string.
+func renderTallies(t *testing.T, s Store, peers []trust.PeerID) string {
+	t.Helper()
+	tallies, err := CountsAll(s, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i, p := range peers {
+		fmt.Fprintf(&b, "%s r=%d f=%d\n", p, tallies[i].Received, tallies[i].Filed)
+	}
+	if agg, ok := s.(Aggregator); ok {
+		excess, tracked, aok, err := agg.ProductAggregate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "aggregate excess=%d tracked=%d ok=%v\n", excess, tracked, aok)
+	}
+	return b.String()
+}
+
+// TestLoadTalliesEquivalentToFiling pins the restore contract: loading a
+// snapshot of a filed-up store reproduces the counters AND the incremental
+// product aggregate bit for bit, on every loader backend.
+func TestLoadTalliesEquivalentToFiling(t *testing.T) {
+	peers := []trust.PeerID{"a", "b", "c", "d", "e"}
+	batch := []Complaint{
+		{From: "a", About: "b"}, {From: "a", About: "b"}, {From: "c", About: "b"},
+		{From: "b", About: "a"}, {From: "d", About: "c"}, {From: "c", About: "d"},
+	}
+	for _, spec := range loaderBackends {
+		t.Run(spec, func(t *testing.T) {
+			filed, err := Open(spec, BackendConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := FileAll(filed, batch); err != nil {
+				t.Fatal(err)
+			}
+			if f, ok := filed.(Flusher); ok {
+				if err := f.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snapshot, err := CountsAll(filed, peers)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			loaded, err := Open(spec, BackendConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := LoadAll(loaded, peers, snapshot); err != nil {
+				t.Fatal(err)
+			}
+			want := renderTallies(t, filed, peers)
+			got := renderTallies(t, loaded, peers)
+			if got != want {
+				t.Errorf("restored state differs from filed state:\nwant:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestLoadTalliesZeroTalliesUntracked: all-zero tallies (peers in the
+// population with no complaints) must not enter the aggregate's tracked set —
+// a restored store's tracked count must match the filed store's.
+func TestLoadTalliesZeroTalliesUntracked(t *testing.T) {
+	for _, spec := range []string{"memory", "sharded"} {
+		t.Run(spec, func(t *testing.T) {
+			s, err := Open(spec, BackendConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			peers := []trust.PeerID{"a", "b", "c"}
+			if err := LoadAll(s, peers, []Tally{{}, {Received: 2, Filed: 1}, {}}); err != nil {
+				t.Fatal(err)
+			}
+			excess, tracked, ok, err := s.(Aggregator).ProductAggregate()
+			if err != nil || !ok {
+				t.Fatalf("aggregate unavailable: ok=%v err=%v", ok, err)
+			}
+			if tracked != 1 {
+				t.Errorf("tracked = %d, want 1 (zero tallies must stay untracked)", tracked)
+			}
+			// (2+1)·(1+1) − 1 = 5.
+			if excess != 5 {
+				t.Errorf("excess = %d, want 5", excess)
+			}
+		})
+	}
+}
+
+// TestLoadTalliesRefusesLiveCounts: restore is defined only into fresh state.
+func TestLoadTalliesRefusesLiveCounts(t *testing.T) {
+	for _, spec := range []string{"memory", "sharded"} {
+		t.Run(spec, func(t *testing.T) {
+			s, err := Open(spec, BackendConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.File(Complaint{From: "a", About: "b"}); err != nil {
+				t.Fatal(err)
+			}
+			err = LoadAll(s, []trust.PeerID{"b"}, []Tally{{Received: 1}})
+			if err == nil {
+				t.Fatal("LoadAll over live counts succeeded; want error")
+			}
+		})
+	}
+}
+
+// TestLoadAllValidation covers the argument and capability errors.
+func TestLoadAllValidation(t *testing.T) {
+	s := NewMemoryStore()
+	if err := LoadAll(s, []trust.PeerID{"a"}, nil); err == nil {
+		t.Error("mismatched peers/tallies lengths accepted")
+	}
+	if err := LoadAll(s, nil, nil); err != nil {
+		t.Errorf("empty load should be a no-op, got %v", err)
+	}
+	// A store without the extension must be reported, not silently skipped.
+	type bare struct{ Store }
+	if err := LoadAll(bare{NewMemoryStore()}, []trust.PeerID{"a"}, []Tally{{Received: 1}}); err == nil {
+		t.Error("LoadAll on a non-loader store succeeded; want error")
+	}
+	// An async decorator over a non-loader inner store likewise.
+	async := NewAsyncStore(bare{NewMemoryStore()}, AsyncConfig{})
+	if err := LoadAll(async, []trust.PeerID{"a"}, []Tally{{Received: 1}}); err == nil {
+		t.Error("LoadAll through async over a non-loader inner store succeeded; want error")
+	}
+}

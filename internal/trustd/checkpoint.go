@@ -1,0 +1,178 @@
+package trustd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// A checkpoint is one atomic snapshot of the evidence plane: every peer with
+// a nonzero complaint tally, taken after the store's write-behind backlog has
+// drained, plus the WAL segment sequence that starts after it. Recovery loads
+// the newest valid checkpoint and replays only WAL segments with seq >= its
+// WALSeq — older segments are fully covered by the snapshot. The file is
+// written to a temp name, synced, and renamed, so a crash mid-checkpoint
+// leaves either the previous checkpoint (plus the still-intact WAL) or the
+// new one — never a half state; a trailing CRC-32C guards against torn or
+// hostile bytes that slip past the rename protocol anyway.
+//
+//	[4 bytes magic "TCKP"][1 byte version]
+//	[uvarint walSeq][uvarint npeers]
+//	npeers × ([uvarint len][peer ID][uvarint received][uvarint filed])
+//	[4 bytes LE CRC-32C of everything above]
+const (
+	checkpointVersion = 1
+)
+
+var checkpointMagic = [4]byte{'T', 'C', 'K', 'P'}
+
+// checkpointName is the file name of the checkpoint whose replay starts at
+// WAL segment seq (the two share a sequence number by construction).
+func checkpointName(seq uint64) string { return fmt.Sprintf("checkpoint-%06d.ckpt", seq) }
+
+// encodeCheckpoint serialises one snapshot. Peers must be sorted by the
+// caller so equal states encode to equal bytes — the determinism harness
+// compares checkpoints directly.
+func encodeCheckpoint(walSeq uint64, peers []trust.PeerID, tallies []complaints.Tally) []byte {
+	n := len(checkpointMagic) + 1 + trust.UvarintLen(walSeq) + trust.UvarintLen(uint64(len(peers)))
+	for i, p := range peers {
+		n += trust.UvarintLen(uint64(len(p))) + len(p)
+		n += trust.UvarintLen(uint64(tallies[i].Received)) + trust.UvarintLen(uint64(tallies[i].Filed))
+	}
+	out := make([]byte, 0, n+4)
+	out = append(out, checkpointMagic[:]...)
+	out = append(out, checkpointVersion)
+	out = binary.AppendUvarint(out, walSeq)
+	out = binary.AppendUvarint(out, uint64(len(peers)))
+	for i, p := range peers {
+		out = binary.AppendUvarint(out, uint64(len(p)))
+		out = append(out, p...)
+		out = binary.AppendUvarint(out, uint64(tallies[i].Received))
+		out = binary.AppendUvarint(out, uint64(tallies[i].Filed))
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
+
+// decodeCheckpoint parses and validates a checkpoint file. Any malformation —
+// wrong magic, bad CRC, truncation, trailing garbage, counts overflowing an
+// int — is an error: recovery then falls back to the previous checkpoint and
+// the WAL, never to a partial snapshot.
+func decodeCheckpoint(data []byte) (walSeq uint64, peers []trust.PeerID, tallies []complaints.Tally, err error) {
+	if len(data) < len(checkpointMagic)+1+4 {
+		return 0, nil, nil, fmt.Errorf("trustd: checkpoint truncated (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, nil, fmt.Errorf("trustd: checkpoint checksum mismatch")
+	}
+	if [4]byte(body[:4]) != checkpointMagic || body[4] != checkpointVersion {
+		return 0, nil, nil, fmt.Errorf("trustd: not a version-%d checkpoint", checkpointVersion)
+	}
+	body = body[5:]
+	next := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, fmt.Errorf("trustd: checkpoint truncated in %s", what)
+		}
+		body = body[n:]
+		return v, nil
+	}
+	if walSeq, err = next("wal seq"); err != nil {
+		return 0, nil, nil, err
+	}
+	npeers, err := next("peer count")
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if npeers > uint64(len(body)) { // every peer needs at least one byte
+		return 0, nil, nil, fmt.Errorf("trustd: checkpoint claims %d peers in %d bytes", npeers, len(body))
+	}
+	peers = make([]trust.PeerID, 0, npeers)
+	tallies = make([]complaints.Tally, 0, npeers)
+	for i := uint64(0); i < npeers; i++ {
+		l, err := next("peer ID length")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if l > uint64(len(body)) {
+			return 0, nil, nil, fmt.Errorf("trustd: checkpoint truncated in peer ID")
+		}
+		id := trust.PeerID(body[:l])
+		body = body[l:]
+		r, err := next("received count")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		f, err := next("filed count")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if int64(r) < 0 || int64(f) < 0 || int(r) < 0 || int(f) < 0 {
+			return 0, nil, nil, fmt.Errorf("trustd: checkpoint count overflows int")
+		}
+		peers = append(peers, id)
+		tallies = append(tallies, complaints.Tally{Received: int(r), Filed: int(f)})
+	}
+	if len(body) != 0 {
+		return 0, nil, nil, fmt.Errorf("trustd: %d trailing bytes after checkpoint", len(body))
+	}
+	return walSeq, peers, tallies, nil
+}
+
+// CheckpointCrash names an injection point of the checkpoint protocol for
+// the crash harness; see CrashPlan.
+type CheckpointCrash int
+
+const (
+	// CrashNone disables checkpoint injection.
+	CrashNone CheckpointCrash = iota
+	// CrashMidTemp dies halfway through writing the temp file: recovery must
+	// ignore the partial temp and recover from the previous checkpoint + WAL.
+	CrashMidTemp
+	// CrashAfterTemp dies after the temp file is complete but before the
+	// rename: same recovery obligation as CrashMidTemp.
+	CrashAfterTemp
+	// CrashAfterRename dies after the checkpoint is durable but before the
+	// WAL rotates: recovery must use the new checkpoint and replay nothing.
+	CrashAfterRename
+)
+
+// writeCheckpoint lands the encoded snapshot atomically (temp + sync +
+// rename), firing the requested injection point on the way.
+func writeCheckpoint(dir string, seq uint64, data []byte, crash CheckpointCrash) error {
+	tmp := filepath.Join(dir, checkpointName(seq)+".tmp")
+	if crash == CrashMidTemp {
+		os.WriteFile(tmp, data[:len(data)/2], 0o644)
+		return ErrInjectedCrash
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if crash == CrashAfterTemp {
+		return ErrInjectedCrash
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointName(seq))); err != nil {
+		return err
+	}
+	if crash == CrashAfterRename {
+		return ErrInjectedCrash
+	}
+	return nil
+}

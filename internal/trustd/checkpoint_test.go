@@ -1,0 +1,101 @@
+package trustd
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+func checkpointFixture() (uint64, []trust.PeerID, []complaints.Tally) {
+	return 7,
+		[]trust.PeerID{"alice", "bob", "mallory"},
+		[]complaints.Tally{{Received: 1, Filed: 2}, {}, {Received: 9, Filed: 7}}
+}
+
+// TestCheckpointRoundTrip: decode∘encode is the identity, and equal states
+// encode to equal bytes (the determinism the crash harness compares on).
+func TestCheckpointRoundTrip(t *testing.T) {
+	seq, peers, tallies := checkpointFixture()
+	data := encodeCheckpoint(seq, peers, tallies)
+	if !bytes.Equal(data, encodeCheckpoint(seq, peers, tallies)) {
+		t.Fatal("same state encoded to different bytes")
+	}
+	gotSeq, gotPeers, gotTallies, err := decodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != seq {
+		t.Fatalf("walSeq = %d, want %d", gotSeq, seq)
+	}
+	for i := range peers {
+		if gotPeers[i] != peers[i] || gotTallies[i] != tallies[i] {
+			t.Fatalf("record %d: (%s,%v) != (%s,%v)", i, gotPeers[i], gotTallies[i], peers[i], tallies[i])
+		}
+	}
+}
+
+// TestCheckpointRejectsCorruption: every single-byte flip and every
+// truncation must be detected — a checkpoint is either exactly right or
+// rejected outright.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	seq, peers, tallies := checkpointFixture()
+	data := encodeCheckpoint(seq, peers, tallies)
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x5a
+		if _, _, _, err := decodeCheckpoint(mut); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, _, err := decodeCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, _, _, err := decodeCheckpoint(append(bytes.Clone(data), 0)); err == nil {
+		t.Fatal("trailing garbage accepted (CRC over the wrong span)")
+	}
+}
+
+// TestWriteCheckpointCrashPoints: each injection point leaves exactly the
+// files its name promises.
+func TestWriteCheckpointCrashPoints(t *testing.T) {
+	seq, peers, tallies := checkpointFixture()
+	data := encodeCheckpoint(seq, peers, tallies)
+	final := checkpointName(seq)
+	tmp := final + ".tmp"
+
+	cases := []struct {
+		crash          CheckpointCrash
+		wantErr        bool
+		wantTmp, wantF bool
+	}{
+		{CrashNone, false, false, true},
+		{CrashMidTemp, true, true, false},
+		{CrashAfterTemp, true, true, false},
+		{CrashAfterRename, true, false, true},
+	}
+	for _, tc := range cases {
+		dir := t.TempDir()
+		err := writeCheckpoint(dir, seq, data, tc.crash)
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("crash %d: err = %v, wantErr %v", tc.crash, err, tc.wantErr)
+		}
+		if _, serr := os.Stat(filepath.Join(dir, tmp)); (serr == nil) != tc.wantTmp {
+			t.Errorf("crash %d: tmp file presence = %v, want %v", tc.crash, serr == nil, tc.wantTmp)
+		}
+		if _, serr := os.Stat(filepath.Join(dir, final)); (serr == nil) != tc.wantF {
+			t.Errorf("crash %d: final file presence = %v, want %v", tc.crash, serr == nil, tc.wantF)
+		}
+		if tc.wantF && tc.crash != CrashAfterRename {
+			onDisk, rerr := os.ReadFile(filepath.Join(dir, final))
+			if rerr != nil || !bytes.Equal(onDisk, data) {
+				t.Errorf("crash %d: final checkpoint bytes differ", tc.crash)
+			}
+		}
+	}
+}

@@ -1,0 +1,694 @@
+// Package trustd is the trust service: a long-lived daemon wrapping the
+// evidence plane. The ingest path accepts complaint batches (the
+// complaints.Delta wire codec), makes each batch durable in a checksummed
+// write-ahead log *before* acking, and applies it to a pluggable complaint
+// store through the batched write path; the query path serves the decision
+// rule's trust scores through the assessor's O(1) aggregate read behind a
+// generation-keyed snapshot cache; periodic checkpoints snapshot the store
+// (Snapshotter.CountsAll) and rotate the WAL, so a restarted — or killed —
+// node replays checkpoint + WAL tail to the exact pre-crash state. "Exact"
+// means bit-identical per-peer counts and population aggregate, proven by
+// the crash-injection harness against an uncrashed reference store.
+package trustd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// CrashPlan injects deterministic failures into the durability pipeline for
+// the crash-injection test harness. The zero value disables injection. An
+// injected crash behaves like kill -9: the in-flight operation reports
+// ErrInjectedCrash without acking, the server refuses all later ingests, and
+// whatever bytes were already on disk — possibly a torn WAL record or a
+// partial checkpoint temp file — are exactly what recovery gets.
+type CrashPlan struct {
+	// WALByteLimit cuts the WAL at an absolute byte offset: once the log has
+	// durably written this many bytes (across segments), the next append
+	// writes only the remaining budget — usually mid-record — and dies.
+	// 0 disables.
+	WALByteLimit int64
+	// Checkpoint fires at a named point of the checkpoint protocol.
+	Checkpoint CheckpointCrash
+}
+
+// Options configures a server.
+type Options struct {
+	// Dir is the durability directory (WAL segments + checkpoints).
+	Dir string
+	// Backend is the complaint-store spec ("memory", "sharded",
+	// "async:sharded", …); empty means "sharded". Checkpointing requires a
+	// backend with the complaints.TallyLoader restore extension.
+	Backend string
+	// BackendConfig tunes the selected backend.
+	BackendConfig complaints.BackendConfig
+	// Population fixes the peers trust scores are normalised over. nil keeps
+	// it dynamic: every peer a durable complaint has mentioned.
+	Population []trust.PeerID
+	// Factor is the decision threshold; 0 means complaints.DefaultFactor.
+	Factor float64
+	// CheckpointEvery triggers an automatic checkpoint after that many
+	// complaints have been ingested since the last one; 0 checkpoints only
+	// on demand (the Checkpoint method / endpoint).
+	CheckpointEvery int
+	// Fsync syncs the WAL on every append. Off by default: the tests
+	// simulate crashes at the file level, where write-through already holds.
+	Fsync bool
+	// Crash is the test harness's injection plan; zero disables.
+	Crash CrashPlan
+}
+
+// Stats is a snapshot of the server's accounting.
+type Stats struct {
+	// IngestedBatches/IngestedComplaints count acked ingests this process.
+	IngestedBatches    int64 `json:"ingested_batches"`
+	IngestedComplaints int64 `json:"ingested_complaints"`
+	// WALBytes is the total record bytes appended this process.
+	WALBytes int64 `json:"wal_bytes"`
+	// Checkpoints counts snapshots written this process; WALSeq is the
+	// active segment.
+	Checkpoints int64  `json:"checkpoints"`
+	WALSeq      uint64 `json:"wal_seq"`
+	// Generation advances with every applied batch; the snapshot cache is
+	// keyed by it.
+	Generation uint64 `json:"generation"`
+	// CacheHits/CacheMisses count query-path score lookups served from /
+	// missing the generation-keyed snapshot cache.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Recovery accounting: what Open found on disk.
+	RecoveredCheckpointPeers int64 `json:"recovered_checkpoint_peers"`
+	RecoveredBatches         int64 `json:"recovered_batches"`
+	RecoveredComplaints      int64 `json:"recovered_complaints"`
+	TornTailBytes            int64 `json:"torn_tail_bytes"`
+	RecoveryNs               int64 `json:"recovery_ns"`
+}
+
+// Server is one trustd node. Open recovers it from its directory; Close
+// drains and releases it; Kill abandons it mid-flight (the crash harness's
+// kill -9). Ingest and checkpointing serialise on one mutex so a checkpoint
+// is always a consistent cut of the acked history; queries run concurrently
+// against the thread-safe store and the snapshot cache.
+type Server struct {
+	opts   Options
+	store  complaints.Store
+	factor float64
+	fixed  []trust.PeerID // Options.Population, nil for dynamic
+
+	mu        sync.Mutex // ingest + checkpoint + seen-set critical section
+	wal       *wal
+	seen      map[trust.PeerID]struct{}
+	seenList  []trust.PeerID // sorted snapshot of seen; nil when stale
+	sinceCkpt int
+	failed    error // injected crash or storage failure, sticky
+	closed    bool
+
+	gen   atomic.Uint64
+	stats struct {
+		batches, complaints    atomic.Int64
+		checkpoints            atomic.Int64
+		cacheHits, cacheMisses atomic.Int64
+		recoveredPeers         int64
+		recoveredBatches       int64
+		recoveredComplaints    int64
+		tornTailBytes          int64
+		recoveryNs             int64
+	}
+
+	cache scoreCache
+}
+
+// scoreCache memoises fully computed trust scores keyed by the store's write
+// generation: every applied batch invalidates it wholesale, so a cached
+// entry is always exactly what recomputing against the current counts would
+// produce — the read-through contract the closed-loop equivalence test pins.
+type scoreCache struct {
+	mu     sync.Mutex
+	gen    uint64
+	scores map[trust.PeerID]Score
+}
+
+// Score is one served trust assessment — the complaint model's full read:
+// both counters, the smoothed product, the decision rule's normalised score,
+// the bridge probability and the binary verdict.
+type Score struct {
+	Peer        trust.PeerID `json:"peer"`
+	Received    int          `json:"received"`
+	Filed       int          `json:"filed"`
+	Product     float64      `json:"product"`
+	Score       float64      `json:"score"`
+	Probability float64      `json:"probability"`
+	Trustworthy bool         `json:"trustworthy"`
+	Generation  uint64       `json:"generation"`
+}
+
+// Open builds the store, recovers checkpoint + WAL tail from opts.Dir, and
+// returns a serving node. A fresh directory starts empty at WAL segment 1.
+func Open(opts Options) (*Server, error) {
+	backend := opts.Backend
+	if backend == "" {
+		backend = "sharded"
+	}
+	store, err := complaints.Open(backend, opts.BackendConfig)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("trustd: Options.Dir is required")
+	}
+	if _, ok := store.(complaints.TallyLoader); !ok && opts.CheckpointEvery > 0 {
+		return nil, fmt.Errorf("trustd: backend %q cannot restore checkpoints (no TallyLoader)", backend)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		store:  store,
+		factor: opts.Factor,
+		fixed:  opts.Population,
+		seen:   make(map[trust.PeerID]struct{}),
+	}
+	if s.factor <= 0 {
+		s.factor = complaints.DefaultFactor
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover rebuilds the store from the newest valid checkpoint plus the WAL
+// segments it does not cover, truncates any torn tail, and opens the active
+// segment for appending.
+func (s *Server) recover() error {
+	start := time.Now()
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var ckptSeqs, walSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A checkpoint that never made it to rename; dead weight.
+			os.Remove(filepath.Join(s.opts.Dir, name))
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".ckpt"):
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "checkpoint-%d.ckpt", &seq); err == nil {
+				ckptSeqs = append(ckptSeqs, seq)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "wal-%d.log", &seq); err == nil {
+				walSeqs = append(walSeqs, seq)
+			}
+		}
+	}
+	sort.Slice(ckptSeqs, func(i, j int) bool { return ckptSeqs[i] > ckptSeqs[j] })
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
+
+	// Newest checkpoint that validates wins; invalid ones (torn, hostile)
+	// are skipped — the segments they would have superseded are still there.
+	replayFrom := uint64(1)
+	for _, seq := range ckptSeqs {
+		data, err := os.ReadFile(filepath.Join(s.opts.Dir, checkpointName(seq)))
+		if err != nil {
+			continue
+		}
+		walSeq, peers, tallies, err := decodeCheckpoint(data)
+		if err != nil {
+			continue
+		}
+		if err := complaints.LoadAll(s.store, peers, tallies); err != nil {
+			return err
+		}
+		for _, p := range peers {
+			s.seen[p] = struct{}{}
+		}
+		s.stats.recoveredPeers = int64(len(peers))
+		replayFrom = walSeq
+		break
+	}
+
+	// Replay every surviving segment the checkpoint does not cover, oldest
+	// first; each segment's torn tail (normally only the last segment has
+	// one) is discarded and counted.
+	activeSeq, activeSize := replayFrom, int64(0)
+	for _, seq := range walSeqs {
+		if seq < replayFrom {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.opts.Dir, walName(seq)))
+		if err != nil {
+			return err
+		}
+		batches, valid := replayWAL(data)
+		s.stats.tornTailBytes += int64(len(data) - valid)
+		for _, batch := range batches {
+			if err := complaints.FileAll(s.store, batch); err != nil {
+				return fmt.Errorf("trustd: replaying %s: %w", walName(seq), err)
+			}
+			s.noteBatchLocked(batch)
+			s.stats.recoveredBatches++
+			s.stats.recoveredComplaints += int64(len(batch))
+		}
+		activeSeq, activeSize = seq, int64(valid)
+	}
+	// A write-behind store drains before serving: recovered counts must be
+	// visible to the first query.
+	if f, ok := s.store.(complaints.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	s.wal, err = openWAL(s.opts.Dir, activeSeq, activeSize, s.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	s.wal.crashLimit = s.opts.Crash.WALByteLimit
+	// Segments below the replay horizon are covered by the checkpoint and
+	// only survive a crash between checkpoint write and cleanup.
+	for _, seq := range walSeqs {
+		if seq < replayFrom {
+			os.Remove(filepath.Join(s.opts.Dir, walName(seq)))
+		}
+	}
+	s.stats.recoveryNs = time.Since(start).Nanoseconds()
+	return nil
+}
+
+// noteBatchLocked records the peers a batch mentions in the seen set (the
+// dynamic population and the checkpoint cover). Caller holds mu (or is still
+// single-threaded in recovery).
+func (s *Server) noteBatchLocked(batch []complaints.Complaint) {
+	for _, c := range batch {
+		if _, ok := s.seen[c.From]; !ok {
+			s.seen[c.From] = struct{}{}
+			s.seenList = nil
+		}
+		if _, ok := s.seen[c.About]; !ok {
+			s.seen[c.About] = struct{}{}
+			s.seenList = nil
+		}
+	}
+}
+
+// Ingest makes one complaint batch durable and applies it: WAL append first
+// (the ack barrier — an error here, injected crash included, means the batch
+// does not count), then the store's batched write path, then the generation
+// bump that invalidates the snapshot cache. Empty batches are rejected: the
+// WAL has no empty-record encoding, and an unloggable no-op ack would be a
+// lie about durability.
+func (s *Server) Ingest(batch []complaints.Complaint) error {
+	if len(batch) == 0 {
+		return errors.New("trustd: empty complaint batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("trustd: server closed")
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.wal.append(batch); err != nil {
+		s.failed = err
+		return err
+	}
+	if err := complaints.FileAll(s.store, batch); err != nil {
+		s.failed = err
+		return err
+	}
+	s.noteBatchLocked(batch)
+	s.gen.Add(1)
+	s.stats.batches.Add(1)
+	s.stats.complaints.Add(int64(len(batch)))
+	s.sinceCkpt += len(batch)
+	if s.opts.CheckpointEvery > 0 && s.sinceCkpt >= s.opts.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			// The batch is durable and applied — it stays acked; only the
+			// snapshot failed, and the server refuses further traffic.
+			s.failed = err
+		}
+	}
+	return nil
+}
+
+// Checkpoint snapshots the store and rotates the WAL on demand.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.checkpointLocked(); err != nil {
+		s.failed = err
+		return err
+	}
+	return nil
+}
+
+// checkpointLocked is the snapshot protocol: drain the store's write-behind
+// backlog, scan every seen peer's tallies, write the checkpoint atomically,
+// rotate the WAL to the checkpoint's sequence, then retire the files the new
+// checkpoint supersedes. Caller holds mu, so the cut is consistent: no batch
+// can land between the scan and the rotation.
+func (s *Server) checkpointLocked() error {
+	if f, ok := s.store.(complaints.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	peers := s.seenLocked()
+	tallies, err := complaints.CountsAll(s.store, peers)
+	if err != nil {
+		return err
+	}
+	newSeq := s.wal.seq + 1
+	if err := writeCheckpoint(s.opts.Dir, newSeq, encodeCheckpoint(newSeq, peers, tallies), s.opts.Crash.Checkpoint); err != nil {
+		return err
+	}
+	if err := s.wal.rotate(newSeq); err != nil {
+		return err
+	}
+	os.Remove(filepath.Join(s.opts.Dir, walName(newSeq-1)))
+	os.Remove(filepath.Join(s.opts.Dir, checkpointName(newSeq-1)))
+	s.stats.checkpoints.Add(1)
+	s.sinceCkpt = 0
+	return nil
+}
+
+// seenLocked returns the sorted seen-peer list, rebuilding the cached
+// snapshot only when the set grew. Caller holds mu.
+func (s *Server) seenLocked() []trust.PeerID {
+	if s.seenList == nil {
+		s.seenList = make([]trust.PeerID, 0, len(s.seen))
+		for p := range s.seen {
+			s.seenList = append(s.seenList, p)
+		}
+		sort.Slice(s.seenList, func(i, j int) bool { return s.seenList[i] < s.seenList[j] })
+	}
+	return s.seenList
+}
+
+// population is the normalisation population of the query path: the fixed
+// Options.Population, or the dynamic sorted seen set.
+func (s *Server) population() []trust.PeerID {
+	if s.fixed != nil {
+		return s.fixed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seenLocked()
+}
+
+// assessor builds the query-path assessor. A literal (cache-less) assessor
+// is deliberate: the server's own generation-keyed cache supersedes the
+// per-assessor write-generation cache, and the aggregate O(1) path works on
+// literals.
+func (s *Server) assessor(pop []trust.PeerID) complaints.Assessor {
+	return complaints.Assessor{Store: s.store, Factor: s.factor, Population: pop}
+}
+
+// generation is the snapshot-cache key: the store's own mutation counter
+// when it keeps one (a backend mutated behind the server's back still
+// invalidates), the server's applied-batch counter otherwise.
+func (s *Server) generation() uint64 {
+	if mc, ok := s.store.(complaints.MutationCounter); ok {
+		if g, ok2 := mc.Mutations(); ok2 {
+			return g
+		}
+	}
+	return s.gen.Load()
+}
+
+// ScoreOf serves one peer's trust assessment through the snapshot cache: a
+// hit returns the memoised Score (reporting the reads the computation would
+// have performed through ReadAccounter, so write-behind staleness accounting
+// is identical either way); a miss computes exactly what a direct assessor
+// over the same store would — the byte-for-byte contract of the closed loop.
+func (s *Server) ScoreOf(peer trust.PeerID) (Score, error) {
+	pop := s.population()
+	gen := s.generation()
+	s.cache.mu.Lock()
+	if s.cache.gen != gen || s.cache.scores == nil {
+		s.cache.gen = gen
+		s.cache.scores = make(map[trust.PeerID]Score)
+	}
+	sc, hit := s.cache.scores[peer]
+	s.cache.mu.Unlock()
+	if hit {
+		s.stats.cacheHits.Add(1)
+		if ra, ok := s.store.(complaints.ReadAccounter); ok {
+			// The cached entry stands in for one population average plus one
+			// per-peer read.
+			ra.NoteScanReads(len(pop) + 1)
+		}
+		return sc, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	a := s.assessor(pop)
+	// Mirror a direct NormalisedScore exactly — same reads, same order, same
+	// float expressions: the population average first (served O(1) by
+	// Aggregator backends, with the scan's reads reported), then one
+	// combined per-peer read whose counters also ride along in the response.
+	avg, err := a.AverageProduct()
+	if err != nil {
+		return Score{}, err
+	}
+	var cr, cf int
+	if c, ok := s.store.(complaints.Counter); ok {
+		cr, cf, err = c.Counts(peer)
+	} else {
+		if cr, err = s.store.Received(peer); err == nil {
+			cf, err = s.store.Filed(peer)
+		}
+	}
+	if err != nil {
+		return Score{}, err
+	}
+	prod := float64(cr+1) * float64(cf+1)
+	score := prod
+	if avg > 0 {
+		score = prod / avg
+	}
+	sc = Score{
+		Peer:        peer,
+		Received:    cr,
+		Filed:       cf,
+		Product:     prod,
+		Score:       score,
+		Probability: s.factor / (s.factor + score),
+		Trustworthy: score <= s.factor,
+		Generation:  gen,
+	}
+	s.cache.mu.Lock()
+	if s.cache.gen == gen {
+		s.cache.scores[peer] = sc
+	}
+	s.cache.mu.Unlock()
+	return sc, nil
+}
+
+// Flush drains the store's write-behind backlog.
+func (s *Server) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.store.(complaints.Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// Store exposes the underlying complaint store (tests, loadgen reference).
+func (s *Server) Store() complaints.Store { return s.store }
+
+// Stats snapshots the accounting.
+func (s *Server) Stats() Stats {
+	return Stats{
+		IngestedBatches:          s.stats.batches.Load(),
+		IngestedComplaints:       s.stats.complaints.Load(),
+		WALBytes:                 s.walBytes(),
+		Checkpoints:              s.stats.checkpoints.Load(),
+		WALSeq:                   s.walSeq(),
+		Generation:               s.gen.Load(),
+		CacheHits:                s.stats.cacheHits.Load(),
+		CacheMisses:              s.stats.cacheMisses.Load(),
+		RecoveredCheckpointPeers: s.stats.recoveredPeers,
+		RecoveredBatches:         s.stats.recoveredBatches,
+		RecoveredComplaints:      s.stats.recoveredComplaints,
+		TornTailBytes:            s.stats.tornTailBytes,
+		RecoveryNs:               s.stats.recoveryNs,
+	}
+}
+
+func (s *Server) walBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.total
+}
+
+func (s *Server) walSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.seq
+}
+
+// Close drains in-flight state through the existing Flusher/Close contracts
+// and releases the WAL — the graceful shutdown. Durable state is complete at
+// this point: every acked batch is in the log, so a Close-less death loses
+// nothing either (that is Kill, and the crash harness's whole point).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	switch st := s.store.(type) {
+	case interface{ Close() error }:
+		first = st.Close()
+	case complaints.Flusher:
+		first = st.Flush()
+	}
+	if err := s.wal.close(); first == nil {
+		first = err
+	}
+	if first == nil {
+		first = s.failed
+	}
+	if errors.Is(first, ErrInjectedCrash) {
+		// The injected death already did its job; a graceful close after the
+		// harness inspected the corpse should not re-report it.
+		first = nil
+	}
+	return first
+}
+
+// Kill abandons the server without any draining — the in-process stand-in
+// for kill -9. Only the file descriptor is released; no flush, no sync, no
+// checkpoint. Whatever the WAL and checkpoint files contain at this instant
+// is what the next Open recovers.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.wal.f.Close()
+}
+
+// Handler is the HTTP surface:
+//
+//	POST /v1/complaints   body = complaints.Delta bytes → {"applied":N,...}
+//	GET  /v1/score?peer=  one peer's Score
+//	GET  /v1/counts?peer= raw counters
+//	GET  /v1/stats        Stats
+//	POST /v1/checkpoint   force a snapshot + WAL rotation
+//	POST /v1/flush        drain the write-behind backlog
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/complaints", s.handleIngest)
+	mux.HandleFunc("GET /v1/score", s.handleScore)
+	mux.HandleFunc("GET /v1/counts", s.handleCounts)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Checkpoint(); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]uint64{"wal_seq": s.walSeq()})
+	})
+	mux.HandleFunc("POST /v1/flush", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Flush(); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
+	})
+	return mux
+}
+
+// maxIngestBytes bounds one ingest request body (64 MiB of encoded deltas —
+// far beyond any sane batch, small enough to refuse a hostile stream).
+const maxIngestBytes = 64 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	data, err := readAll(r, maxIngestBytes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := trust.DecodeEvidence(trust.EvidenceComplaints, data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := d.(*complaints.Delta).Complaints
+	if err := s.Ingest(batch); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": len(batch), "generation": s.gen.Load()})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	peer := trust.PeerID(r.URL.Query().Get("peer"))
+	if peer == "" {
+		httpError(w, http.StatusBadRequest, errors.New("trustd: missing peer parameter"))
+		return
+	}
+	sc, err := s.ScoreOf(peer)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sc)
+}
+
+func (s *Server) handleCounts(w http.ResponseWriter, r *http.Request) {
+	peer := trust.PeerID(r.URL.Query().Get("peer"))
+	if peer == "" {
+		httpError(w, http.StatusBadRequest, errors.New("trustd: missing peer parameter"))
+		return
+	}
+	tallies, err := complaints.CountsAll(s.store, []trust.PeerID{peer})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"received": tallies[0].Received, "filed": tallies[0].Filed})
+}
+
+func readAll(r *http.Request, limit int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(nil, r.Body, limit))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

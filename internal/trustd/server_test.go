@@ -1,0 +1,428 @@
+package trustd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"trustcoop/internal/testutil"
+	"trustcoop/internal/trust"
+	"trustcoop/internal/trust/complaints"
+)
+
+// renderServerState is the byte-comparable form of a server's observable
+// trust state: every peer's counters plus the population product aggregate.
+// Two servers whose renderings are equal make identical trust decisions.
+func renderServerState(t testing.TB, s *Server, peers []trust.PeerID) string {
+	t.Helper()
+	tallies, err := complaints.CountsAll(s.Store(), peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i, p := range peers {
+		fmt.Fprintf(&b, "%s r=%d f=%d\n", p, tallies[i].Received, tallies[i].Filed)
+	}
+	if agg, ok := s.Store().(complaints.Aggregator); ok {
+		excess, tracked, aok, err := agg.ProductAggregate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "aggregate excess=%d tracked=%d ok=%v\n", excess, tracked, aok)
+	}
+	return b.String()
+}
+
+// testBatches builds n deterministic complaint batches over k peers.
+func testBatches(n, k int) [][]complaints.Complaint {
+	peers := make([]trust.PeerID, k)
+	for i := range peers {
+		peers[i] = trust.PeerID(fmt.Sprintf("peer-%02d", i))
+	}
+	out := make([][]complaints.Complaint, n)
+	for i := range out {
+		size := 1 + i%4
+		batch := make([]complaints.Complaint, size)
+		for j := range batch {
+			batch[j] = complaints.Complaint{
+				From:  peers[(i+j)%k],
+				About: peers[(i*3+j+1)%k],
+			}
+		}
+		// Self-complaints are legal but skew nothing useful; shift them.
+		for j := range batch {
+			if batch[j].From == batch[j].About {
+				batch[j].About = peers[(i*3+j+2)%k]
+			}
+		}
+		out[i] = batch
+	}
+	return out
+}
+
+func batchPeers(batches [][]complaints.Complaint) []trust.PeerID {
+	set := map[trust.PeerID]struct{}{}
+	for _, b := range batches {
+		for _, c := range b {
+			set[c.From] = struct{}{}
+			set[c.About] = struct{}{}
+		}
+	}
+	peers := make([]trust.PeerID, 0, len(set))
+	for p := range set {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}
+
+// referenceServerState files the batches into a fresh store of the same
+// backend — the uncrashed reference every recovery is compared against.
+func referenceServerState(t testing.TB, backend string, batches [][]complaints.Complaint, peers []trust.PeerID) string {
+	t.Helper()
+	if backend == "" {
+		backend = "sharded"
+	}
+	store, err := complaints.Open(backend, complaints.BackendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := complaints.FileAll(store, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f, ok := store.(complaints.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := &Server{store: store}
+	return renderServerState(t, ref, peers)
+}
+
+// TestServerIngestQueryHTTP drives the full HTTP surface: binary delta in,
+// JSON score out, and the served score equals the direct assessor's.
+func TestServerIngestQueryHTTP(t *testing.T) {
+	srv, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	batches := testBatches(10, 6)
+	for _, b := range batches {
+		body := complaints.NewDelta(b).Encode()
+		resp, err := http.Post(hs.URL+"/v1/complaints", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack struct {
+			Applied int `json:"applied"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || ack.Applied != len(b) {
+			t.Fatalf("ingest: status %d, applied %d of %d", resp.StatusCode, ack.Applied, len(b))
+		}
+	}
+
+	peers := batchPeers(batches)
+	a := complaints.Assessor{Store: srv.Store(), Population: peers}
+	// Compare the whole population against a server opened with the same
+	// dynamic population (sorted seen == batchPeers by construction).
+	for _, p := range peers {
+		resp, err := http.Get(hs.URL + "/v1/score?peer=" + string(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc Score
+		if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want, err := a.NormalisedScore(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(sc.Score) != math.Float64bits(want) {
+			t.Errorf("peer %s: served score %v, assessor %v", p, sc.Score, want)
+		}
+	}
+
+	// Error surface: empty batch, missing peer param, garbage body.
+	resp, err := http.Post(hs.URL+"/v1/complaints", "application/octet-stream", bytes.NewReader(complaints.NewDelta(nil).Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("empty batch accepted")
+	}
+	resp, err = http.Get(hs.URL + "/v1/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing peer param: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(hs.URL+"/v1/complaints", "application/octet-stream", bytes.NewReader([]byte{0xff, 0xfe}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage delta: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerRestartBitIdentical: a graceful stop and a WAL-only replay both
+// recover the exact state, across backends.
+func TestServerRestartBitIdentical(t *testing.T) {
+	batches := testBatches(25, 8)
+	peers := batchPeers(batches)
+	for _, backend := range []string{"memory", "sharded", "async:sharded"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{Dir: dir, Backend: backend}
+			srv, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches {
+				if err := srv.Ingest(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			want := renderServerState(t, srv, peers)
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			testutil.ByteIdentical(t,
+				testutil.Variant{Name: "pre-restart", Run: func() (string, error) { return want, nil }},
+				testutil.Variant{Name: "restarted", Run: func() (string, error) {
+					srv2, err := Open(opts)
+					if err != nil {
+						return "", err
+					}
+					defer srv2.Close()
+					return renderServerState(t, srv2, peers), nil
+				}},
+				testutil.Variant{Name: "reference", Run: func() (string, error) {
+					return referenceServerState(t, backend, batches, peers), nil
+				}},
+			)
+		})
+	}
+}
+
+// TestServerCheckpointRotation: checkpoints rotate the WAL, retire old
+// files, and recovery from checkpoint+tail is exact.
+func TestServerCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	batches := testBatches(30, 7)
+	peers := batchPeers(batches)
+	opts := Options{Dir: dir, CheckpointEvery: 20} // several checkpoints over 30 batches
+	srv, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := srv.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Checkpoints == 0 {
+		t.Fatal("no automatic checkpoint fired")
+	}
+	want := renderServerState(t, srv, peers)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wals, ckpts int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".log":
+			wals++
+		case ".ckpt":
+			ckpts++
+		}
+	}
+	if wals != 1 || ckpts != 1 {
+		t.Errorf("after rotation: %d WAL segments and %d checkpoints on disk, want 1 and 1", wals, ckpts)
+	}
+
+	srv2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	st2 := srv2.Stats()
+	if st2.RecoveredCheckpointPeers == 0 {
+		t.Error("recovery did not use the checkpoint")
+	}
+	if got := renderServerState(t, srv2, peers); got != want {
+		t.Errorf("checkpoint+tail recovery diverged:\n%s", testutil.FirstDiff(want, got))
+	}
+}
+
+// TestServerScoreCache: repeated queries at one generation hit the cache and
+// still serve the exact same bits; any ingest invalidates.
+func TestServerScoreCache(t *testing.T) {
+	srv, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	batches := testBatches(6, 5)
+	for _, b := range batches {
+		if err := srv.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := batchPeers(batches)[0]
+	first, err := srv.ScoreOf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := srv.ScoreOf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("cache hit served different assessment: %+v vs %+v", first, second)
+	}
+	st := srv.Stats()
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Errorf("cache accounting: hits=%d misses=%d, want both nonzero", st.CacheHits, st.CacheMisses)
+	}
+	if err := srv.Ingest([]complaints.Complaint{{From: p, About: "newcomer"}}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := srv.ScoreOf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Filed != first.Filed+1 {
+		t.Errorf("post-ingest query served stale counts: filed %d, want %d", third.Filed, first.Filed+1)
+	}
+}
+
+// TestTrustdHammer is the named -race CI step's target: ingest, query and
+// checkpoint run concurrently, then the surviving state must equal a serial
+// reference run of exactly the batches that were acked.
+func TestTrustdHammer(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Open(Options{Dir: dir, Backend: "sharded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	perWriter := 40
+	if testing.Short() {
+		perWriter = 10
+	}
+	var producers, readers sync.WaitGroup
+	acked := make([][][]complaints.Complaint, writers)
+
+	// Writers: disjoint complaint streams, every acked batch remembered.
+	for w := 0; w < writers; w++ {
+		producers.Add(1)
+		go func(w int) {
+			defer producers.Done()
+			for i := 0; i < perWriter; i++ {
+				batch := []complaints.Complaint{
+					{From: trust.PeerID(fmt.Sprintf("w%d-a%d", w, i%5)), About: trust.PeerID(fmt.Sprintf("w%d-b%d", w, i%7))},
+					{From: trust.PeerID(fmt.Sprintf("w%d-b%d", w, i%7)), About: trust.PeerID(fmt.Sprintf("w%d-a%d", w, (i+1)%5))},
+				}
+				if err := srv.Ingest(batch); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				acked[w] = append(acked[w], batch)
+			}
+		}(w)
+	}
+	// Readers: hammer the score path (cache + assessor) while writes land.
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := trust.PeerID(fmt.Sprintf("w%d-a%d", i%writers, i%5))
+				if _, err := srv.ScoreOf(p); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	// Checkpointer: snapshots race the writers and readers.
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		for i := 0; i < 6; i++ {
+			if err := srv.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+
+	producers.Wait()
+	close(stop)
+	readers.Wait()
+	var all [][]complaints.Complaint
+	for w := 0; w < writers; w++ {
+		all = append(all, acked[w]...)
+	}
+	peers := batchPeers(all)
+	got := renderServerState(t, srv, peers)
+	want := referenceServerState(t, "sharded", all, peers)
+	if got != want {
+		t.Errorf("concurrent state diverged from serial reference:\n%s", testutil.FirstDiff(want, got))
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the survivor must still recover bit-identically.
+	srv2, err := Open(Options{Dir: dir, Backend: "sharded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got := renderServerState(t, srv2, peers); got != want {
+		t.Errorf("post-hammer recovery diverged:\n%s", testutil.FirstDiff(want, got))
+	}
+}
