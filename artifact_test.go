@@ -114,6 +114,91 @@ func TestBenchArtifactsAssessorPathConsistent(t *testing.T) {
 	}
 }
 
+// TestBenchArtifactsLatencyDistributionsConsistent walks every committed
+// artifact for latency-distribution objects (PR 9: any object carrying a
+// p50_ns field) and pins their internal ordering: count positive,
+// min ≤ p50 ≤ p95 ≤ p99 ≤ p999 ≤ max, and mean within [min, max]. A
+// violation means the Distribution's bucket walk or its moment merge broke —
+// numbers a dashboard would happily plot without noticing.
+func TestBenchArtifactsLatencyDistributionsConsistent(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_PR*.json artifacts found; run from the repo root")
+	}
+	distsSeen := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact map[string]any
+		if err := json.Unmarshal(data, &artifact); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		walkLatencyDists(artifact, path, func(fieldPath string, d map[string]any) {
+			distsSeen++
+			f := func(key string) float64 {
+				v, _ := d[key].(float64)
+				return v
+			}
+			if f("count") < 1 {
+				t.Errorf("%s: %s: count = %v, want >= 1 (empty distributions are omitted entirely)", path, fieldPath, d["count"])
+				return
+			}
+			quantiles := []struct {
+				name string
+				v    float64
+			}{
+				{"min_ns", f("min_ns")},
+				{"p50_ns", f("p50_ns")},
+				{"p95_ns", f("p95_ns")},
+				{"p99_ns", f("p99_ns")},
+				{"p999_ns", f("p999_ns")},
+				{"max_ns", f("max_ns")},
+			}
+			for i := 1; i < len(quantiles); i++ {
+				lo, hi := quantiles[i-1], quantiles[i]
+				if lo.v > hi.v {
+					t.Errorf("%s: %s: %s (%v) > %s (%v); quantiles must be monotone",
+						path, fieldPath, lo.name, lo.v, hi.name, hi.v)
+				}
+			}
+			if mean := f("mean_ns"); mean < f("min_ns") || mean > f("max_ns") {
+				t.Errorf("%s: %s: mean_ns %v outside [min %v, max %v]",
+					path, fieldPath, mean, f("min_ns"), f("max_ns"))
+			}
+			if std := f("std_ns"); std < 0 {
+				t.Errorf("%s: %s: std_ns = %v, want >= 0", path, fieldPath, std)
+			}
+		})
+	}
+	if distsSeen == 0 {
+		t.Error("no artifact carries latency distributions; BENCH_PR9.json should")
+	}
+}
+
+// walkLatencyDists visits every latency-distribution object — identified by
+// the presence of a p50_ns key — in a decoded JSON tree.
+func walkLatencyDists(node any, path string, visit func(fieldPath string, d map[string]any)) {
+	switch n := node.(type) {
+	case map[string]any:
+		if _, ok := n["p50_ns"]; ok {
+			visit(path, n)
+			return
+		}
+		for k, v := range n {
+			walkLatencyDists(v, path+"."+k, visit)
+		}
+	case []any:
+		for i, v := range n {
+			walkLatencyDists(v, fmt.Sprintf("%s[%d]", path, i), visit)
+		}
+	}
+}
+
 // walkSpeedups visits every parallel-speedup field in a decoded JSON tree.
 func walkSpeedups(node any, path string, visit func(fieldPath string, v float64)) {
 	switch n := node.(type) {

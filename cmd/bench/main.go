@@ -39,11 +39,59 @@ import (
 	"trustcoop/internal/goods"
 	"trustcoop/internal/market"
 	"trustcoop/internal/netsim"
+	"trustcoop/internal/stats"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/complaints"
 	"trustcoop/internal/trust/gossip"
 	"trustcoop/internal/trustd"
 )
+
+// latencyDist is the JSON shape of one per-operation latency distribution:
+// exact moments plus bucketed percentiles from a stats.Distribution (PR 9).
+// Percentile fields carry the Distribution's documented ≈4.4% worst-case
+// relative error; mean/std/min/max are exact. All values are nanoseconds.
+// Sections fill these from separate instrumented passes with chained clock
+// reads (one time.Now per op), so the existing best-of-reps mean columns
+// stay untouched by instrumentation cost.
+type latencyDist struct {
+	Count  int     `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	StdNs  float64 `json:"std_ns"`
+	MinNs  float64 `json:"min_ns"`
+	MaxNs  float64 `json:"max_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+}
+
+// distSummary renders a Distribution into the artifact shape; an empty
+// distribution yields the zero value, which omitzero drops from the JSON.
+func distSummary(d *stats.Distribution) latencyDist {
+	if d.Count() == 0 {
+		return latencyDist{}
+	}
+	return latencyDist{
+		Count:  d.Count(),
+		MeanNs: d.Mean(),
+		StdNs:  d.Std(),
+		MinNs:  d.Min(),
+		MaxNs:  d.Max(),
+		P50Ns:  d.Percentile(50),
+		P95Ns:  d.Percentile(95),
+		P99Ns:  d.Percentile(99),
+		P999Ns: d.Percentile(99.9),
+	}
+}
+
+// chainObserve is the chained-clock idiom shared by every instrumented pass:
+// it records now−*last into d and advances *last — one time.Now per op, so
+// the clock read itself is the only instrumentation cost an op pays.
+func chainObserve(d *stats.Distribution, last *time.Time) {
+	now := time.Now()
+	d.Add(float64(now.Sub(*last).Nanoseconds()))
+	*last = now
+}
 
 type experimentRun struct {
 	Workers int     `json:"workers"`
@@ -88,6 +136,10 @@ type storeReport struct {
 	// SpeedupVsMemory compares this backend's widest-run ns/op against the
 	// memory baseline's on the same workload.
 	SpeedupVsMemory float64 `json:"speedup_vs_memory"`
+	// Latency is the per-operation distribution from a separate instrumented
+	// pass at the widest goroutine count (per-goroutine distributions merged
+	// in goroutine order — deterministic by Distribution.Merge's contract).
+	Latency latencyDist `json:"latency,omitzero"`
 }
 
 type cellEngineRun struct {
@@ -143,6 +195,10 @@ type gossipRun struct {
 	// permanently skipped (0 for the default full mesh and for ring).
 	ComplaintsUnscheduled int64 `json:"complaints_unscheduled"`
 	Rounds                int64 `json:"rounds"`
+	// ExchangeLatency distributes the wall time of each inter-window
+	// Fabric.Exchange (eval.RunCellObserved hook), from one instrumented run
+	// after the timed reps; absent for period 0 (no exchanges).
+	ExchangeLatency latencyDist `json:"exchange_latency,omitzero"`
 }
 
 type gossipReport struct {
@@ -170,6 +226,10 @@ type evidenceKindRun struct {
 	// receiver-side (origin, seq) ledger drops the second copy.
 	DedupDroppedRing2 int64   `json:"dedup_dropped_ring2"`
 	DedupHitRateRing2 float64 `json:"dedup_hit_rate_ring2"`
+	// Per-delta codec latency distributions from separate chained-clock
+	// passes over the same 64-item delta the means above time in bulk.
+	EncodeLatency latencyDist `json:"encode_latency,omitzero"`
+	DecodeLatency latencyDist `json:"decode_latency,omitzero"`
 }
 
 type evidencePlaneReport struct {
@@ -196,6 +256,10 @@ type assessorPathRun struct {
 	// SpeedupAggregateVsScan compares the two read paths on one host —
 	// an algorithmic O(N)→O(1) ratio, not a parallelism number.
 	SpeedupAggregateVsScan float64 `json:"speedup_aggregate_vs_scan"`
+	// Per-decision latency distributions from separate instrumented passes
+	// over the same pre-filled store (chained clock reads, one per decision).
+	ScanLatency      latencyDist `json:"scan_latency,omitzero"`
+	AggregateLatency latencyDist `json:"aggregate_latency,omitzero"`
 }
 
 // trustdRun is one row of the trustd section: the service wrapper's own
@@ -216,6 +280,14 @@ type trustdRun struct {
 	QueryNsCold          float64 `json:"query_ns_cold"`
 	QueryNsWarm          float64 `json:"query_ns_warm"`
 	WALBytes             int64   `json:"wal_bytes"`
+	// Per-op latency distributions from a separate instrumented pass on a
+	// fresh server (chained clock reads), so the best-of-reps means above
+	// stay clean: ingest per batch, queries per ScoreOf split by cache
+	// outcome — the same cold/warm split trustd's own /metrics plane serves
+	// live as trustd_ingest_latency_ns and trustd_query_latency_ns.
+	IngestLatency    latencyDist `json:"ingest_latency,omitzero"`
+	QueryColdLatency latencyDist `json:"query_cold_latency,omitzero"`
+	QueryWarmLatency latencyDist `json:"query_warm_latency,omitzero"`
 	// Recovery replays the whole WAL (no checkpoint) into a fresh store.
 	RecoverySeconds          float64 `json:"recovery_seconds"`
 	RecoveryComplaintsPerSec float64 `json:"recovery_complaints_per_sec"`
@@ -271,6 +343,10 @@ type scaleRun struct {
 	// PeakHeapBytes is HeapInuse after the run, before any GC — the
 	// high-water working set the run actually touched.
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// WindowNsPerEvent distributes per-event cost across fixed session
+	// windows (Engine.RunWindow, chained clocks at the window boundaries):
+	// the tail rows show throughput jitter a single whole-run mean hides.
+	WindowNsPerEvent latencyDist `json:"window_ns_per_event,omitzero"`
 }
 
 type netsimReport struct {
@@ -445,7 +521,16 @@ func run(args []string) error {
 			"direct NormalisedScore), query_ns_warm the snapshot-cache hit " +
 			"that skips both; recovery_complaints_per_sec is a fresh Open " +
 			"replaying the ingested directory, from the server's own " +
-			"recovery clock (store construction excluded)",
+			"recovery clock (store construction excluded); " +
+			"latency/…_latency objects (PR 9) are per-operation distributions " +
+			"from separate instrumented passes over the same workloads with " +
+			"chained clock reads (one time.Now per op), so the best-of-reps " +
+			"mean columns stay untouched: mean/std/min/max are exact " +
+			"(Welford), p50/p95/p99/p999 come from log-spaced buckets " +
+			"(16 per octave) with ≤≈4.4% worst-case relative error; " +
+			"scale's window_ns_per_event distributes per-event cost over " +
+			"4×concurrency-session windows of the same run instead of per-op " +
+			"clocks (events are too fine to time individually)",
 	}
 
 	// Always measure a multi-worker width even on single-CPU hosts: there it
@@ -784,11 +869,36 @@ func benchGossip(seed int64, quick bool, reps int, gc gossip.Config) (gossipRepo
 		if stats.Reads > 0 {
 			run.StaleReadFraction = float64(stats.StaleReads) / float64(stats.Reads)
 		}
+		if period > 0 {
+			// Instrumented run, separate from the timed reps: the observer
+			// hook distributes each inter-window exchange's wall time. Period
+			// 0 has no exchanges, so it reports no distribution.
+			exDist, err := gossipExchangeLatency(cfg, shards)
+			if err != nil {
+				return gossipReport{}, err
+			}
+			run.ExchangeLatency = distSummary(&exDist)
+		}
 		gr.Runs = append(gr.Runs, run)
-		fmt.Fprintf(os.Stderr, "gossip period=%d: %.3fs, %.1f B/session, %.0f ns/applied complaint, stale reads %.2f\n",
-			period, run.Seconds, run.BytesPerSession, run.ApplyNsPerComplaint, run.StaleReadFraction)
+		fmt.Fprintf(os.Stderr, "gossip period=%d: %.3fs, %.1f B/session, %.0f ns/applied complaint, stale reads %.2f, exchange p50/p99 %.0f/%.0f ns\n",
+			period, run.Seconds, run.BytesPerSession, run.ApplyNsPerComplaint, run.StaleReadFraction,
+			run.ExchangeLatency.P50Ns, run.ExchangeLatency.P99Ns)
 	}
 	return gr, nil
+}
+
+// gossipExchangeLatency reruns one gossiping cell with the per-exchange
+// observer hook and returns the exchange-duration distribution. A separate
+// function so the hook's Distribution does not collide with benchGossip's
+// local gossip.Stats variable named stats.
+func gossipExchangeLatency(cfg market.Config, shards int) (stats.Distribution, error) {
+	var d stats.Distribution
+	if _, _, err := eval.RunCellObserved(cfg, shards, 0, func(dur time.Duration) {
+		d.Add(float64(dur.Nanoseconds()))
+	}); err != nil {
+		return stats.Distribution{}, err
+	}
+	return d, nil
 }
 
 // benchEvidencePlane measures the generalized evidence plane (PR 5) per
@@ -866,6 +976,24 @@ func benchEvidencePlane(seed int64, quick bool, kinds []string) (evidencePlaneRe
 			mergeNs = 0
 		}
 		run.MergeNsPerDelta = mergeNs
+
+		// Instrumented codec passes: per-op chained clocks into distributions,
+		// after (never inside) the bulk loops that produce the means above.
+		var encDist, decDist stats.Distribution
+		last := time.Now()
+		for i := 0; i < micro; i++ {
+			_ = delta.Encode()
+			chainObserve(&encDist, &last)
+		}
+		last = time.Now()
+		for i := 0; i < micro; i++ {
+			if _, err := trust.DecodeEvidence(kind, payload); err != nil {
+				return evidencePlaneReport{}, err
+			}
+			chainObserve(&decDist, &last)
+		}
+		run.EncodeLatency = distSummary(&encDist)
+		run.DecodeLatency = distSummary(&decDist)
 
 		// Cell-level traffic per topology.
 		cellStats := func(topo gossip.Topology) (gossip.Stats, error) {
@@ -977,8 +1105,34 @@ func benchScale(seed int64, agentSizes []int) ([]scaleRun, error) {
 				engineHeap = built.HeapAlloc - before.HeapAlloc
 			}
 
+			// The run is windowed (RunWindow + FinishRun ≡ Run for the same
+			// session total) so each window's ns/event lands in a
+			// distribution: the mean column says what the run cost, the
+			// percentile columns say how unevenly — a p999 window far above
+			// p50 is scheduler jitter or GC, not the steady-state event cost.
+			window := 4 * concurrency
+			var windowDist stats.Distribution
 			start := time.Now()
-			if _, err := eng.Run(); err != nil {
+			last := start
+			var prevEvents int64
+			for done := 0; done < sessions; done += window {
+				n := window
+				if rem := sessions - done; n > rem {
+					n = rem
+				}
+				if err := eng.RunWindow(n); err != nil {
+					return nil, err
+				}
+				now := time.Now()
+				windowNs := float64(now.Sub(last).Nanoseconds())
+				last = now
+				ev := eng.EventsExecuted()
+				if d := ev - prevEvents; d > 0 {
+					windowDist.Add(windowNs / float64(d))
+				}
+				prevEvents = ev
+			}
+			if _, err := eng.FinishRun(); err != nil {
 				return nil, err
 			}
 			secs := time.Since(start).Seconds()
@@ -1001,6 +1155,7 @@ func benchScale(seed int64, agentSizes []int) ([]scaleRun, error) {
 				row.EventsPerSec = float64(events) / secs
 				row.NsPerEvent = secs * 1e9 / float64(events)
 			}
+			row.WindowNsPerEvent = distSummary(&windowDist)
 			out = append(out, row)
 			fmt.Fprintf(os.Stderr, "scale %d agents (%s): %d events in %.2fs (%.0f events/s, %.1f ns/event), %.1f bytes/agent, peak heap %d MB\n",
 				agents, v.estimator, events, secs, row.EventsPerSec, row.NsPerEvent, row.BytesPerAgent, after.HeapInuse>>20)
@@ -1116,6 +1271,29 @@ func benchAssessorPath(quick bool, reps int) ([]assessorPathRun, error) {
 			if row.AggregateNsPerDecision > 0 {
 				row.SpeedupAggregateVsScan = row.ScanNsPerDecision / row.AggregateNsPerDecision
 			}
+			// Per-decision distributions from a separate chained-clock pass,
+			// after the best-of-reps means so they stay undistorted.
+			observe := func(a complaints.Assessor, n int) (stats.Distribution, error) {
+				var d stats.Distribution
+				last := time.Now()
+				for i := 0; i < n; i++ {
+					if _, err := a.NormalisedScore(ids[(i*31)%pop]); err != nil {
+						return stats.Distribution{}, err
+					}
+					chainObserve(&d, &last)
+				}
+				return d, nil
+			}
+			scanDist, err := observe(scan, scanDecisions)
+			if err != nil {
+				return nil, err
+			}
+			aggDist, err := observe(aggregate, aggDecisions)
+			if err != nil {
+				return nil, err
+			}
+			row.ScanLatency = distSummary(&scanDist)
+			row.AggregateLatency = distSummary(&aggDist)
 			if cerr := benchutil.CloseStore(store); cerr != nil {
 				return nil, cerr
 			}
@@ -1242,9 +1420,60 @@ func benchTrustd(quick bool, reps int) ([]trustdRun, error) {
 		if s := bestRecovery.Seconds(); s > 0 {
 			row.RecoveryComplaintsPerSec = float64(batches*batchSize) / s
 		}
+
+		// Instrumented pass on a fresh server: per-op chained clock reads feed
+		// the latency distributions, leaving the best-of-reps means above
+		// untouched by instrumentation. The cold/warm split mirrors the timed
+		// passes: first read of each peer after the last generation bump is a
+		// miss, everything after is a hit.
+		if err := func() error {
+			dir, err := os.MkdirTemp("", "bench-trustd-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			srv, err := trustd.Open(trustd.Options{Dir: dir, Backend: backend, Population: ids})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			var ingestDist, coldDist, warmDist stats.Distribution
+			last := time.Now()
+			for _, b := range work {
+				if err := srv.Ingest(b); err != nil {
+					return err
+				}
+				chainObserve(&ingestDist, &last)
+			}
+			if err := srv.Flush(); err != nil {
+				return err
+			}
+			last = time.Now()
+			for _, id := range ids {
+				if _, err := srv.ScoreOf(id); err != nil {
+					return err
+				}
+				chainObserve(&coldDist, &last)
+			}
+			last = time.Now()
+			for i := 0; i < warmQueries; i++ {
+				if _, err := srv.ScoreOf(ids[i%pop]); err != nil {
+					return err
+				}
+				chainObserve(&warmDist, &last)
+			}
+			row.IngestLatency = distSummary(&ingestDist)
+			row.QueryColdLatency = distSummary(&coldDist)
+			row.QueryWarmLatency = distSummary(&warmDist)
+			return nil
+		}(); err != nil {
+			return nil, err
+		}
+
 		out = append(out, row)
-		fmt.Fprintf(os.Stderr, "trustd %s: ingest %.0f ns/batch, query %.0f/%.0f ns cold/warm, recovery %.0f complaints/s\n",
-			backend, row.IngestNsPerBatch, row.QueryNsCold, row.QueryNsWarm, row.RecoveryComplaintsPerSec)
+		fmt.Fprintf(os.Stderr, "trustd %s: ingest %.0f ns/batch (p50/p99/p999 %.0f/%.0f/%.0f), query %.0f/%.0f ns cold/warm (warm p99 %.0f), recovery %.0f complaints/s\n",
+			backend, row.IngestNsPerBatch, row.IngestLatency.P50Ns, row.IngestLatency.P99Ns, row.IngestLatency.P999Ns,
+			row.QueryNsCold, row.QueryNsWarm, row.QueryWarmLatency.P99Ns, row.RecoveryComplaintsPerSec)
 	}
 	return out, nil
 }
@@ -1481,9 +1710,16 @@ func benchStores(specs []string, quick bool, reps int) ([]storeReport, error) {
 			if base := memBaseline[workload]; base > 0 && last.NsPerOp > 0 {
 				sr.SpeedupVsMemory = base / last.NsPerOp
 			}
+			// Per-op latency shape at the widest width, on a fresh store in a
+			// separate pass so the best-of-reps bulk means above stay clean.
+			lat, err := benchStoreLatency(spec, workload, widths[len(widths)-1], fileOps, assessSessions, ids)
+			if err != nil {
+				return nil, err
+			}
+			sr.Latency = distSummary(&lat)
 			reports = append(reports, sr)
-			fmt.Fprintf(os.Stderr, "store %s %s: %.1f ns/op at %d goroutines (%.2fx vs memory)\n",
-				spec, workload, last.NsPerOp, last.Goroutines, sr.SpeedupVsMemory)
+			fmt.Fprintf(os.Stderr, "store %s %s: %.1f ns/op at %d goroutines (%.2fx vs memory), p99 %.0f ns\n",
+				spec, workload, last.NsPerOp, last.Goroutines, sr.SpeedupVsMemory, sr.Latency.P99Ns)
 		}
 	}
 	return reports, nil
@@ -1560,4 +1796,72 @@ func benchStoreRun(store complaints.Store, workload string, goroutines, fileOps,
 		AllocsPerOp:      float64(ms1.Mallocs-ms0.Mallocs) / float64(totalOps),
 		MutexWaitNsPerOp: (wait1 - wait0) * 1e9 / float64(totalOps),
 	}, nil
+}
+
+// benchStoreLatency re-drives one (spec, workload) cell on a fresh store at
+// the given width with per-operation chained clocks. Each goroutine fills its
+// own stats.Distribution — no shared state on the hot path beyond the store
+// under test — and the per-goroutine distributions merge in goroutine index
+// order after the run (Merge is exactly associative, so the merged shape is
+// independent of scheduling). This pass is separate from the timed
+// best-of-reps runs, whose bulk means must not pay per-op clock reads.
+func benchStoreLatency(spec, workload string, goroutines, fileOps, assessSessions int, ids []trust.PeerID) (stats.Distribution, error) {
+	store, err := benchutil.OpenStore(spec, ids)
+	if err != nil {
+		return stats.Distribution{}, err
+	}
+	assessor := complaints.Assessor{Store: store, Population: ids}
+	perG := fileOps / goroutines
+	dists := make([]stats.Distribution, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := &dists[g]
+			last := time.Now()
+			switch workload {
+			case "file":
+				for i := 0; i < perG; i++ {
+					c := complaints.Complaint{From: ids[(g*7+i)%len(ids)], About: ids[(g*13+3*i)%len(ids)]}
+					if err := store.File(c); err != nil {
+						errs[g] = err
+						return
+					}
+					chainObserve(d, &last)
+				}
+			default: // file+assess
+				for s := 0; s < assessSessions; s++ {
+					c := complaints.Complaint{From: ids[(g*7+s)%len(ids)], About: ids[(g*13+3*s)%len(ids)]}
+					if err := store.File(c); err != nil {
+						errs[g] = err
+						return
+					}
+					chainObserve(d, &last)
+					for _, p := range ids {
+						if _, err := assessor.Product(p); err != nil {
+							errs[g] = err
+							return
+						}
+						chainObserve(d, &last)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cerr := benchutil.CloseStore(store); cerr != nil {
+		return stats.Distribution{}, cerr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return stats.Distribution{}, err
+		}
+	}
+	var merged stats.Distribution
+	for i := range dists {
+		merged.Merge(dists[i])
+	}
+	return merged, nil
 }

@@ -66,7 +66,7 @@ func run(args []string) error {
 	}
 	defer srv.Close()
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "trustd: recovered %d checkpoint peers + %d WAL batches (%d complaints, %d torn bytes) in %.3fs; serving on %s\n",
+	fmt.Fprintf(os.Stderr, "trustd: recovered %d checkpoint peers + %d WAL batches (%d complaints, %d torn bytes) in %.3fs; serving on %s (Prometheus scrape: GET /metrics)\n",
 		st.RecoveredCheckpointPeers, st.RecoveredBatches, st.RecoveredComplaints, st.TornTailBytes,
 		float64(st.RecoveryNs)/1e9, *addr)
 	return http.ListenAndServe(*addr, srv.Handler())

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"trustcoop/internal/market"
 	"trustcoop/internal/trust"
@@ -51,6 +52,17 @@ func RunCell(cfg market.Config, shards, engines int) (market.Result, error) {
 // cfg.Gossip.Period == 0), the exchange fabric's snapshot otherwise. E11 and
 // the bench gossip section consume the stats; everything else calls RunCell.
 func RunCellStats(cfg market.Config, shards, engines int) (market.Result, gossip.Stats, error) {
+	return RunCellObserved(cfg, shards, engines, nil)
+}
+
+// RunCellObserved is RunCellStats with a timing hook: onExchange (nil-safe;
+// nil is exactly RunCellStats) is called once per inter-window
+// Fabric.Exchange with that exchange's wall-clock duration. The hook observes
+// the coordinating goroutine only — it cannot perturb the lockstep protocol
+// or the merged Result, which stays byte-identical with and without it (the
+// golden E2/E11 determinism contract). The bench gossip section feeds these
+// durations into a stats.Distribution for exchange-latency percentiles.
+func RunCellObserved(cfg market.Config, shards, engines int, onExchange func(time.Duration)) (market.Result, gossip.Stats, error) {
 	if shards <= 1 {
 		if cfg.Gossip.Enabled() {
 			// Silently dropping the config would leave a table whose title
@@ -90,7 +102,7 @@ func RunCellStats(cfg market.Config, shards, engines int) (market.Result, gossip
 		return sub
 	}
 	if cfg.Gossip.Enabled() {
-		return runCellGossip(cfg, shards, engines, subConfig)
+		return runCellGossip(cfg, shards, engines, subConfig, onExchange)
 	}
 	results, err := RunTrials(engines, shards, func(k int) (market.Result, error) {
 		eng, err := market.NewEngine(subConfig(k))
@@ -127,7 +139,7 @@ func RunCellStats(cfg market.Config, shards, engines int) (market.Result, gossip
 // everything the schedule delivers — under a fanout-limited mesh that is
 // deliberately less than everything filed (gossip.Stats.ComplaintsUnscheduled
 // counts the difference).
-func runCellGossip(cfg market.Config, shards, engines int, subConfig func(int) market.Config) (market.Result, gossip.Stats, error) {
+func runCellGossip(cfg market.Config, shards, engines int, subConfig func(int) market.Config, onExchange func(time.Duration)) (market.Result, gossip.Stats, error) {
 	if cfg.RepStore == "" && cfg.Evidence != trust.EvidencePosterior {
 		return market.Result{}, gossip.Stats{}, fmt.Errorf("eval: gossip (%s) needs an evidence plane to exchange — a RepStore complaint backend or Evidence = posterior", cfg.Gossip)
 	}
@@ -170,7 +182,14 @@ func runCellGossip(cfg market.Config, shards, engines int, subConfig func(int) m
 		for k := range remaining {
 			remaining[k] -= window[k]
 		}
-		if err := fabric.Exchange(); err != nil {
+		if onExchange != nil {
+			start := time.Now()
+			err := fabric.Exchange()
+			onExchange(time.Since(start))
+			if err != nil {
+				return market.Result{}, gossip.Stats{}, err
+			}
+		} else if err := fabric.Exchange(); err != nil {
 			return market.Result{}, gossip.Stats{}, err
 		}
 	}

@@ -117,19 +117,27 @@ func (s *Sample) String() string {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between closest ranks. It returns 0 for an empty slice. The
-// input is not modified.
+// interpolation between closest ranks. The input is not modified.
+//
+// Edge conventions — shared with Distribution.Percentile so the bucketed and
+// exact quantile paths always agree: an empty slice reports 0, a
+// single-element slice reports that element for every p, and out-of-range p
+// clamps (p ≤ 0 reports the minimum, p ≥ 100 the maximum).
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
 	return percentileSorted(sorted, p)
 }
 
+// percentileSorted is Percentile over an already-sorted slice. It applies
+// the same edge conventions itself (empty → 0, single element → that
+// element, out-of-range p clamps) rather than trusting every caller to
+// pre-filter — the exported wrapper is not its only caller.
 func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

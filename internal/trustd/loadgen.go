@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -67,6 +68,10 @@ type LoadgenReport struct {
 	FirstDivergence string  `json:"first_divergence,omitempty"`
 	IngestSeconds   float64 `json:"ingest_seconds"`
 	QuerySeconds    float64 `json:"query_seconds"`
+	// MetricsFamilies counts the metric families /metrics exposed after the
+	// run; the scrape fails the loop if any RequiredMetricFamilies entry is
+	// missing, so observability regressions surface here, not in production.
+	MetricsFamilies int `json:"metrics_families"`
 }
 
 // LoadgenAgents builds the run's marketplace population and its peer IDs —
@@ -164,7 +169,40 @@ func RunLoadgen(baseURL string, cfg LoadgenConfig) (LoadgenReport, error) {
 	if err := compareScores(baseURL, ts, peers, cfg, &rep); err != nil {
 		return rep, err
 	}
+	if err := scrapeMetrics(baseURL, &rep); err != nil {
+		return rep, err
+	}
 	return rep, nil
+}
+
+// scrapeMetrics closes the observability loop: after real traffic, /metrics
+// must expose every required family (ingest, query cold/warm, WAL,
+// checkpoint, cache-hit series) in valid exposition text.
+func scrapeMetrics(baseURL string, rep *LoadgenReport) error {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trustd: metrics returned %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	families := MetricFamilies(string(body))
+	have := make(map[string]bool, len(families))
+	for _, f := range families {
+		have[f] = true
+	}
+	for _, want := range RequiredMetricFamilies {
+		if !have[want] {
+			return fmt.Errorf("trustd: /metrics is missing family %s", want)
+		}
+	}
+	rep.MetricsFamilies = len(families)
+	return nil
 }
 
 // ReplayQueries re-derives the reference state from the same config (the
@@ -179,6 +217,9 @@ func ReplayQueries(baseURL string, cfg LoadgenConfig) (LoadgenReport, error) {
 	}
 	rep := LoadgenReport{Sessions: cfg.Sessions, Complaints: len(ts.trace), Peers: len(peers)}
 	if err := compareScores(baseURL, ts, peers, cfg, &rep); err != nil {
+		return rep, err
+	}
+	if err := scrapeMetrics(baseURL, &rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

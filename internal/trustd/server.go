@@ -76,8 +76,11 @@ type Stats struct {
 	// IngestedBatches/IngestedComplaints count acked ingests this process.
 	IngestedBatches    int64 `json:"ingested_batches"`
 	IngestedComplaints int64 `json:"ingested_complaints"`
-	// WALBytes is the total record bytes appended this process.
-	WALBytes int64 `json:"wal_bytes"`
+	// WALBytes/WALAppends/WALFsyncs are the record bytes, records and fsync
+	// calls appended this process.
+	WALBytes   int64 `json:"wal_bytes"`
+	WALAppends int64 `json:"wal_appends"`
+	WALFsyncs  int64 `json:"wal_fsyncs"`
 	// Checkpoints counts snapshots written this process; WALSeq is the
 	// active segment.
 	Checkpoints int64  `json:"checkpoints"`
@@ -95,6 +98,10 @@ type Stats struct {
 	RecoveredComplaints      int64 `json:"recovered_complaints"`
 	TornTailBytes            int64 `json:"torn_tail_bytes"`
 	RecoveryNs               int64 `json:"recovery_ns"`
+	// UptimeSeconds is the time since this process opened the server — the
+	// same number /metrics exports as trustd_uptime_seconds, so the JSON and
+	// Prometheus surfaces never disagree.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Server is one trustd node. Open recovers it from its directory; Close
@@ -128,7 +135,8 @@ type Server struct {
 		recoveryNs             int64
 	}
 
-	cache scoreCache
+	cache   scoreCache
+	metrics serverMetrics
 }
 
 // scoreCache memoises fully computed trust scores keyed by the store's write
@@ -182,6 +190,7 @@ func Open(opts Options) (*Server, error) {
 		fixed:  opts.Population,
 		seen:   make(map[trust.PeerID]struct{}),
 	}
+	s.metrics.start = time.Now()
 	if s.factor <= 0 {
 		s.factor = complaints.DefaultFactor
 	}
@@ -318,6 +327,7 @@ func (s *Server) Ingest(batch []complaints.Complaint) error {
 	if len(batch) == 0 {
 		return errors.New("trustd: empty complaint batch")
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -346,6 +356,9 @@ func (s *Server) Ingest(batch []complaints.Complaint) error {
 			s.failed = err
 		}
 	}
+	// Acked batches only: failed ingests never count toward the latency
+	// distribution, so its percentiles describe the service users got.
+	s.metrics.ingest.Observe(time.Since(start))
 	return nil
 }
 
@@ -369,6 +382,7 @@ func (s *Server) Checkpoint() error {
 // checkpoint supersedes. Caller holds mu, so the cut is consistent: no batch
 // can land between the scan and the rotation.
 func (s *Server) checkpointLocked() error {
+	start := time.Now()
 	if f, ok := s.store.(complaints.Flusher); ok {
 		if err := f.Flush(); err != nil {
 			return err
@@ -390,6 +404,7 @@ func (s *Server) checkpointLocked() error {
 	os.Remove(filepath.Join(s.opts.Dir, checkpointName(newSeq-1)))
 	s.stats.checkpoints.Add(1)
 	s.sinceCkpt = 0
+	s.metrics.checkpoint.Observe(time.Since(start))
 	return nil
 }
 
@@ -443,6 +458,7 @@ func (s *Server) generation() uint64 {
 // is identical either way); a miss computes exactly what a direct assessor
 // over the same store would — the byte-for-byte contract of the closed loop.
 func (s *Server) ScoreOf(peer trust.PeerID) (Score, error) {
+	start := time.Now()
 	pop := s.population()
 	gen := s.generation()
 	s.cache.mu.Lock()
@@ -459,6 +475,7 @@ func (s *Server) ScoreOf(peer trust.PeerID) (Score, error) {
 			// per-peer read.
 			ra.NoteScanReads(len(pop) + 1)
 		}
+		s.metrics.queryWarm.Observe(time.Since(start))
 		return sc, nil
 	}
 	s.stats.cacheMisses.Add(1)
@@ -502,6 +519,7 @@ func (s *Server) ScoreOf(peer trust.PeerID) (Score, error) {
 		s.cache.scores[peer] = sc
 	}
 	s.cache.mu.Unlock()
+	s.metrics.queryCold.Observe(time.Since(start))
 	return sc, nil
 }
 
@@ -520,12 +538,15 @@ func (s *Server) Store() complaints.Store { return s.store }
 
 // Stats snapshots the accounting.
 func (s *Server) Stats() Stats {
+	bytes, appends, fsyncs, seq := s.walCounters()
 	return Stats{
 		IngestedBatches:          s.stats.batches.Load(),
 		IngestedComplaints:       s.stats.complaints.Load(),
-		WALBytes:                 s.walBytes(),
+		WALBytes:                 bytes,
+		WALAppends:               appends,
+		WALFsyncs:                fsyncs,
 		Checkpoints:              s.stats.checkpoints.Load(),
-		WALSeq:                   s.walSeq(),
+		WALSeq:                   seq,
 		Generation:               s.gen.Load(),
 		CacheHits:                s.stats.cacheHits.Load(),
 		CacheMisses:              s.stats.cacheMisses.Load(),
@@ -534,13 +555,16 @@ func (s *Server) Stats() Stats {
 		RecoveredComplaints:      s.stats.recoveredComplaints,
 		TornTailBytes:            s.stats.tornTailBytes,
 		RecoveryNs:               s.stats.recoveryNs,
+		UptimeSeconds:            time.Since(s.metrics.start).Seconds(),
 	}
 }
 
-func (s *Server) walBytes() int64 {
+// walCounters reads the WAL's accounting in one critical section — all WAL
+// mutation happens under mu, so plain fields on the wal struct suffice.
+func (s *Server) walCounters() (bytes, appends, fsyncs int64, seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.wal.total
+	return s.wal.total, s.wal.appends, s.wal.fsyncs, s.wal.seq
 }
 
 func (s *Server) walSeq() uint64 {
@@ -601,6 +625,7 @@ func (s *Server) Kill() {
 //	GET  /v1/score?peer=  one peer's Score
 //	GET  /v1/counts?peer= raw counters
 //	GET  /v1/stats        Stats
+//	GET  /metrics         Prometheus text exposition (see metrics.go)
 //	POST /v1/checkpoint   force a snapshot + WAL rotation
 //	POST /v1/flush        drain the write-behind backlog
 func (s *Server) Handler() http.Handler {
@@ -610,6 +635,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/counts", s.handleCounts)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
 	})
 	mux.HandleFunc("POST /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.Checkpoint(); err != nil {
@@ -671,11 +700,13 @@ func (s *Server) handleCounts(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("trustd: missing peer parameter"))
 		return
 	}
+	start := time.Now()
 	tallies, err := complaints.CountsAll(s.store, []trust.PeerID{peer})
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	s.metrics.queryCounts.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]int{"received": tallies[0].Received, "filed": tallies[0].Filed})
 }
 

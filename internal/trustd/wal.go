@@ -101,7 +101,11 @@ type wal struct {
 
 	// total counts bytes appended across all segments of this process's
 	// lifetime — the coordinate the crash harness's WALByteLimit cuts at.
+	// appends and fsyncs count durable records and Sync calls over the same
+	// lifetime; all three feed /metrics through Server.walCounters.
 	total      int64
+	appends    int64
+	fsyncs     int64
 	crashLimit int64 // 0 disables injection
 	scratch    []byte
 }
@@ -148,7 +152,9 @@ func (w *wal) append(batch []complaints.Complaint) error {
 	}
 	w.size += int64(len(rec))
 	w.total += int64(len(rec))
+	w.appends++
 	if w.fsync {
+		w.fsyncs++
 		return w.f.Sync()
 	}
 	return nil
