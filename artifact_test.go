@@ -180,6 +180,86 @@ func TestBenchArtifactsLatencyDistributionsConsistent(t *testing.T) {
 	}
 }
 
+// TestBenchArtifactsEvidenceCodecCompression validates the evidence_codec
+// section of every committed artifact that has one (PR 10+): the dense
+// reference row leads, every recorded compression_ratio_vs_dense equals the
+// dense row's bytes_per_session over its own (the two numbers it claims to
+// summarise), and the lossless columnar row clears the PR 10 acceptance
+// floor — at least 2× fewer posterior bytes per session than the dense PR 5
+// wire on the same reference cell. A silently fattened columnar encoding
+// (or a section that quietly stopped running) fails here, not in a
+// dashboard six PRs later.
+func TestBenchArtifactsEvidenceCodecCompression(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_PR*.json artifacts found; run from the repo root")
+	}
+	sectionSeen := false
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact struct {
+			EvidenceCodec struct {
+				Sessions int `json:"sessions"`
+				Modes    []struct {
+					Policy                  string  `json:"policy"`
+					DeltaBytes              int     `json:"delta_bytes"`
+					BytesPerSession         float64 `json:"bytes_per_session"`
+					CompressionRatioVsDense float64 `json:"compression_ratio_vs_dense"`
+				} `json:"modes"`
+			} `json:"evidence_codec"`
+		}
+		if err := json.Unmarshal(data, &artifact); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		modes := artifact.EvidenceCodec.Modes
+		if len(modes) == 0 {
+			continue
+		}
+		sectionSeen = true
+		if modes[0].Policy != "dense" {
+			t.Errorf("%s: evidence_codec modes[0] = %q, want the dense reference first", path, modes[0].Policy)
+			continue
+		}
+		dense := modes[0].BytesPerSession
+		if dense <= 0 {
+			t.Errorf("%s: dense bytes_per_session = %v, want > 0", path, dense)
+			continue
+		}
+		columnarSeen := false
+		for _, m := range modes {
+			id := fmt.Sprintf("%s: evidence_codec %s", path, m.Policy)
+			if m.DeltaBytes <= 0 {
+				t.Errorf("%s: delta_bytes = %d, want > 0", id, m.DeltaBytes)
+			}
+			if m.BytesPerSession > 0 {
+				want := dense / m.BytesPerSession
+				if diff := m.CompressionRatioVsDense - want; diff > 1e-6 || diff < -1e-6 {
+					t.Errorf("%s: compression_ratio_vs_dense = %v, but dense/self = %v", id, m.CompressionRatioVsDense, want)
+				}
+			}
+			if m.Policy == "columnar" {
+				columnarSeen = true
+				if m.CompressionRatioVsDense < 2 {
+					t.Errorf("%s: lossless ratio %v below the 2x acceptance floor (dense %v, columnar %v B/session)",
+						id, m.CompressionRatioVsDense, dense, m.BytesPerSession)
+				}
+			}
+		}
+		if !columnarSeen {
+			t.Errorf("%s: evidence_codec has no lossless columnar row; the 2x floor is unguarded", path)
+		}
+	}
+	if !sectionSeen {
+		t.Error("no artifact carries an evidence_codec section; BENCH_PR10.json should")
+	}
+}
+
 // walkLatencyDists visits every latency-distribution object — identified by
 // the presence of a p50_ns key — in a decoded JSON tree.
 func walkLatencyDists(node any, path string, visit func(fieldPath string, d map[string]any)) {

@@ -239,6 +239,35 @@ type evidencePlaneReport struct {
 	Kinds    []evidenceKindRun `json:"kinds"`
 }
 
+// codecModeRun is one row of the evidence_codec section: the posterior wire
+// under one export policy (PR 10), micro-costed on a 64-row delta and
+// traffic-costed on the PR 5 reference cell (sharded ×4, period 4, full
+// mesh) so bytes_per_session is directly comparable to the committed PR 5
+// evidence_plane posterior row.
+type codecModeRun struct {
+	Policy     string `json:"policy"`
+	DeltaBytes int    `json:"delta_bytes"`
+	// Encode/Decode micro-costs of the policy's wire format on the same
+	// 64-row delta every mode shares (selection policies change what the
+	// export drains, not the per-delta codec, so their micro rows match
+	// the columnar ones by construction).
+	EncodeNsPerDelta float64 `json:"encode_ns_per_delta"`
+	DecodeNsPerDelta float64 `json:"decode_ns_per_delta"`
+	// BytesPerSession is the cell's delivered posterior traffic amortised
+	// over its sessions; CompressionRatioVsDense is the dense row's
+	// bytes_per_session over this one (1.0 for dense itself, +Inf-free:
+	// 0 when this mode shipped nothing).
+	BytesPerSession         float64 `json:"bytes_per_session"`
+	CompressionRatioVsDense float64 `json:"compression_ratio_vs_dense"`
+}
+
+type evidenceCodecReport struct {
+	Shards   int            `json:"shards"`
+	Sessions int            `json:"sessions"`
+	Period   int            `json:"period"`
+	Modes    []codecModeRun `json:"modes"`
+}
+
 // assessorPathRun is one row of the assessor_path section: ns per trust
 // decision (one NormalisedScore call — population average + per-peer
 // product) measured both ways on the same pre-filled store: through the
@@ -312,6 +341,7 @@ type report struct {
 	CellSharding  cellShardingReport  `json:"cell_sharding,omitzero"`
 	Gossip        gossipReport        `json:"gossip,omitzero"`
 	EvidencePlane evidencePlaneReport `json:"evidence_plane,omitzero"`
+	EvidenceCodec evidenceCodecReport `json:"evidence_codec,omitzero"`
 	Notes         string              `json:"notes"`
 }
 
@@ -385,7 +415,7 @@ func run(args []string) error {
 	scaleCeiling := fs.Float64("scale-ceiling-ns", 0,
 		"fail (exit nonzero, after writing the report) if any scale row exceeds this ns/event; 0 disables — the CI guard that trust decisions stay O(1) in the population")
 	sections := fs.String("sections", "",
-		"comma-separated subset of sections to run (experiments,schedule,engine,stores,cells,gossip,evidence,netsim,assessor,trustd); empty runs them all; 'scale' here implies -scale")
+		"comma-separated subset of sections to run (experiments,schedule,engine,stores,cells,gossip,evidence,codec,netsim,assessor,trustd); empty runs them all; 'scale' here implies -scale")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof; see docs/PERF.md)")
 	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to this file at exit (see docs/PERF.md)")
 	if err := fs.Parse(args); err != nil {
@@ -493,6 +523,14 @@ func run(args []string) error {
 			"per complaint there, so its speedup_batch_vs_single is ~1.0 by " +
 			"design — the grouped map would cost more than the shallow walks " +
 			"it saves); " +
+			"evidence_codec (PR 10) prices the posterior export policies " +
+			"against the dense PR 5 wire: per-mode encode/decode ns on one " +
+			"shared 64-row delta, plus bytes_per_session from re-running the " +
+			"PR 5 reference cell (sharded x4, period 4, full mesh) under each " +
+			"policy — compression_ratio_vs_dense on the lossless columnar row " +
+			"is the artifact guard's >=2x floor, and the quantized/selective " +
+			"rows price the bytes beyond it (selection defers evidence, never " +
+			"drops it, so its savings are latency, not loss); " +
 			"assessor_path (PR 7) times one trust decision — " +
 			"Assessor.NormalisedScore, the population average plus the " +
 			"per-peer product — both ways on the same pre-filled store: " +
@@ -653,6 +691,14 @@ func run(args []string) error {
 			return err
 		}
 		rep.EvidencePlane = ep
+	}
+
+	if want("codec") {
+		ec, err := benchEvidenceCodec(*seed)
+		if err != nil {
+			return err
+		}
+		rep.EvidenceCodec = ec
 	}
 
 	if want("netsim") {
@@ -1040,6 +1086,99 @@ func benchEvidencePlane(seed int64, quick bool, kinds []string) (evidencePlaneRe
 			run.BytesPerSession, run.DedupHitRateRing2)
 	}
 	return ep, nil
+}
+
+// benchEvidenceCodec prices the posterior export policies (PR 10) against
+// the dense PR 5 wire. Micro rows time each policy's codec on one shared
+// 64-row delta; cell rows re-run the PR 5 reference cell (trust-aware,
+// sharded ×4, gossip period 4 over the full mesh) once per policy, so
+// bytes_per_session and compression_ratio_vs_dense measure exactly what the
+// policy saved on the same evidence stream. The columnar row is lossless —
+// its ratio is the artifact guard's ≥2× floor; the quantized and selective
+// rows trade accuracy or latency for the bytes beyond that.
+// Always the full 1600-session reference shape, even under -quick: the
+// posterior cell is cheap (~1 s for all four modes), and matching the
+// committed BENCH_PR5.json evidence_plane shape exactly is what makes the
+// dense row a cross-PR baseline rather than a new number.
+func benchEvidenceCodec(seed int64) (evidenceCodecReport, error) {
+	const shards, period, sessions = 4, 4, 1600
+	ec := evidenceCodecReport{Shards: shards, Sessions: sessions, Period: period}
+	specs := []string{
+		"posterior",
+		"posterior+columnar",
+		"posterior+q6",
+		"posterior+columnar+conf0.7+eps0.5",
+	}
+	// The shared micro delta: 64 rows of the evidence_plane section's
+	// posterior shape, re-stamped with each policy's codec and quantum.
+	ids := benchutil.StorePeers(64)
+	rows := make([]trust.PosteriorRow, 0, 64)
+	for i := 0; i < 64; i++ {
+		rows = append(rows, trust.PosteriorRow{
+			Observer: ids[i%8], Subject: ids[8+(i/8)%8],
+			Coop: float64(i % 5), Defect: float64(i % 3), Obs: uint64(1 + i%4),
+		})
+	}
+	for _, spec := range specs {
+		_, pol, err := trust.ParseEvidenceSpec(spec)
+		if err != nil {
+			return evidenceCodecReport{}, err
+		}
+		run := codecModeRun{Policy: pol.String()}
+
+		delta := trust.NewPosteriorDelta(1, rows)
+		delta.Codec = pol.Codec
+		if pol.QuantizeBits > 0 {
+			delta.Codec = trust.PosteriorColumnar
+			delta.Quantum = pol.QuantizeBits
+		}
+		payload := delta.Encode()
+		run.DeltaBytes = len(payload)
+		const micro = 2000
+		start := time.Now()
+		for i := 0; i < micro; i++ {
+			_ = delta.Encode()
+		}
+		run.EncodeNsPerDelta = float64(time.Since(start).Nanoseconds()) / micro
+		start = time.Now()
+		for i := 0; i < micro; i++ {
+			if _, err := trust.DecodeEvidence(trust.EvidencePosterior, payload); err != nil {
+				return evidenceCodecReport{}, err
+			}
+		}
+		run.DecodeNsPerDelta = float64(time.Since(start).Nanoseconds()) / micro
+
+		// Cell traffic under the policy, same marketplace stream per mode.
+		agents, err := agent.NewPopulation(agent.PopConfig{Honest: 12, Opportunist: 6},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return evidenceCodecReport{}, err
+		}
+		cfg := market.Config{
+			Seed:     seed,
+			Sessions: sessions,
+			Agents:   agents,
+			Strategy: market.StrategyTrustAware,
+			Evidence: trust.EvidencePosterior,
+			Beta:     trust.BetaConfig{Export: pol},
+			Gossip:   gossip.Config{Period: period, Topology: gossip.TopologyMesh},
+		}
+		_, st, err := eval.RunCellStats(cfg, shards, 0)
+		if err != nil {
+			return evidenceCodecReport{}, err
+		}
+		run.BytesPerSession = float64(st.BytesDelivered) / float64(sessions)
+		ec.Modes = append(ec.Modes, run)
+		fmt.Fprintf(os.Stderr, "codec %s: %dB/delta, encode %.0f decode %.0f ns, %.1f B/session\n",
+			run.Policy, run.DeltaBytes, run.EncodeNsPerDelta, run.DecodeNsPerDelta, run.BytesPerSession)
+	}
+	dense := ec.Modes[0].BytesPerSession
+	for i := range ec.Modes {
+		if b := ec.Modes[i].BytesPerSession; b > 0 {
+			ec.Modes[i].CompressionRatioVsDense = dense / b
+		}
+	}
+	return ec, nil
 }
 
 // benchScale runs one marketplace engine per estimator at growing

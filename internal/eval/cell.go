@@ -225,6 +225,12 @@ type cellCaveats struct {
 	// "posterior gossip" — the kind changes what second-hand evidence means,
 	// so it is part of the caveat.
 	Evidence trust.EvidenceKind
+	// Export is the posterior rows' export policy; non-zero policies change
+	// what the wire carries (codec, lossy quantization, selective export),
+	// so they are part of the caveat. The zero value — the PR 5
+	// export-everything dense wire — adds nothing, keeping default titles
+	// byte-identical.
+	Export trust.ExportPolicy
 	// RepStore is the complaint backend spec; only write-behind specs
 	// (containing "async") add a caveat — exact backends don't change the
 	// information structure.
@@ -243,6 +249,9 @@ func (c cellCaveats) annotate(title string) string {
 			kind = "posterior"
 		}
 		parts = append(parts, fmt.Sprintf("%s gossip %s", kind, c.Gossip))
+	}
+	if c.Export != (trust.ExportPolicy{}) {
+		parts = append(parts, fmt.Sprintf("posterior export %s", c.Export))
 	}
 	if strings.Contains(c.RepStore, "async") {
 		parts = append(parts, fmt.Sprintf("async evidence via %s", c.RepStore))
@@ -265,6 +274,17 @@ func gossipEvidence(gc gossip.Config, evidence trust.EvidenceKind) trust.Evidenc
 		return trust.EvidenceComplaints
 	}
 	return evidence
+}
+
+// gossipExport resolves the posterior export policy of a gossiping cell: the
+// zero policy unless the cell actually gossips posterior deltas — the policy
+// tunes the posterior wire, so it is meaningless (and market.Config rejects
+// it) anywhere else. E2/E3/E6 share this policy from their withDefaults.
+func gossipExport(gc gossip.Config, evidence trust.EvidenceKind, pol trust.ExportPolicy) trust.ExportPolicy {
+	if !gc.Enabled() || evidence != trust.EvidencePosterior {
+		return trust.ExportPolicy{}
+	}
+	return pol
 }
 
 // gossipRepStore resolves the complaint backend a gossiping cell runs over:

@@ -3,9 +3,11 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"trustcoop/internal/agent"
 	"trustcoop/internal/market"
+	"trustcoop/internal/stats"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
@@ -70,10 +72,14 @@ func (c E11Config) withDefaults() E11Config {
 	return c
 }
 
-// e11Cell is one period's measured outcome.
+// e11Cell is one period's measured outcome. exch is the cell's wall-clock
+// exchange-latency sample in microseconds, populated only when the ablation
+// asked to observe it (E12Config.ExchangeLatency) — it is measurement, not
+// part of the deterministic result.
 type e11Cell struct {
 	res   market.Result
 	stats gossip.Stats
+	exch  stats.Distribution
 }
 
 // E11GossipPeriod sweeps the cross-shard gossip period of a sharded
@@ -195,12 +201,17 @@ type ablationCell struct {
 	// RepStore — exactly the E11 cell; posterior runs per-agent Beta
 	// estimators gossiping posterior deltas.
 	Evidence trust.EvidenceKind
-	// Beta tunes the posterior estimators (posterior kind only).
+	// Beta tunes the posterior estimators (posterior kind only);
+	// Beta.Export selects their gossip export policy.
 	Beta     trust.BetaConfig
 	RepStore string
 	Gossip   gossip.Config
 	Shards   int
 	Engines  int
+	// ObserveExchange samples each inter-window exchange's wall-clock
+	// duration into the cell's latency distribution (RunCellObserved). Pure
+	// measurement: the merged result is byte-identical either way.
+	ObserveExchange bool
 }
 
 // marketConfig renders the cell as the market configuration RunCellStats
@@ -241,11 +252,16 @@ func runAblationCell(c ablationCell) (e11Cell, error) {
 	if err != nil {
 		return e11Cell{}, err
 	}
-	res, stats, err := RunCellStats(mc, c.Shards, c.Engines)
+	var cell e11Cell
+	var onExchange func(time.Duration)
+	if c.ObserveExchange {
+		onExchange = func(d time.Duration) { cell.exch.Add(float64(d.Nanoseconds()) / 1e3) }
+	}
+	cell.res, cell.stats, err = RunCellObserved(mc, c.Shards, c.Engines, onExchange)
 	if err != nil {
 		return e11Cell{}, fmt.Errorf("gossip %s: %w", c.Gossip, err)
 	}
-	return e11Cell{res: res, stats: stats}, nil
+	return cell, nil
 }
 
 // fabricShape renders the fabric shape for the table title — topology plus

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 
+	"trustcoop/internal/stats"
 	"trustcoop/internal/trust"
 	"trustcoop/internal/trust/gossip"
 )
@@ -40,6 +41,16 @@ type E12Config struct {
 	// optimism and the sweep isolates how each kind's *gossip* claws the
 	// false trust back, not how their priors differ.
 	Beta trust.BetaConfig
+	// Export is the posterior rows' gossip export policy (codec,
+	// quantization, selective export; folded into Beta.Export); the zero
+	// value keeps the PR 5 dense wire. Complaint rows ignore it. Non-zero
+	// policies show in the title; E13 sweeps this axis.
+	Export trust.ExportPolicy
+	// ExchangeLatency adds wall-clock exchange-latency percentile columns
+	// (p50/p95/p99 µs per kind and period, merged across trials). Off by
+	// default: the timings are nondeterministic, so the default table stays
+	// byte-identical for the golden suite.
+	ExchangeLatency bool
 	// Workers is the trial worker pool; 0 means DefaultWorkers().
 	Workers int
 	// EnginesPerCell bounds concurrent sub-engines per cell; pure
@@ -81,6 +92,9 @@ func (c E12Config) withDefaults() E12Config {
 	if c.Beta == (trust.BetaConfig{}) {
 		c.Beta = trust.BetaConfig{PriorAlpha: 4, PriorBeta: 1}
 	}
+	if c.Export != (trust.ExportPolicy{}) {
+		c.Beta.Export = c.Export
+	}
 	return c
 }
 
@@ -104,10 +118,16 @@ func E12EvidencePlane(cfg E12Config) (*Table, error) {
 	}
 	tbl := &Table{
 		ID: "E12",
-		Title: cellCaveats{Shards: cfg.CellShards, RepStore: cfg.RepStore}.annotate(
+		Title: cellCaveats{Shards: cfg.CellShards, Export: cfg.Export, RepStore: cfg.RepStore}.annotate(
 			fmt.Sprintf("evidence-plane ablation: complaint vs posterior gossip over %s (period ∞ = isolated shards, gap vs own single-engine baseline, posterior prior matched to complaint evidence-free trust)",
 				fabricShape(cfg.Topology, cfg.Fanout))),
 		Cols: []string{"evidence", "period", "trade rate", "completion", "welfare", "honest loss", "loss gap vs 1 engine", "evidence gossiped", "sync rounds"},
+	}
+	if cfg.ExchangeLatency {
+		// Wall-clock measurement, merged across trials — deliberately not
+		// part of the deterministic table contract, hence opt-in.
+		tbl.Title += " — exchange latency wall-clock, nondeterministic"
+		tbl.Cols = append(tbl.Cols, "exchange p50/p95/p99 µs")
 	}
 	// Cells are laid out trial-major, kind-major within a trial: trial t's
 	// (kind 0 baseline, kind 0 period sweep, kind 1 baseline, …). Every
@@ -118,15 +138,16 @@ func E12EvidencePlane(cfg E12Config) (*Table, error) {
 	perTrial := len(cfg.Kinds) * perKind
 	cell := func(trial, ki, slot int) ablationCell {
 		c := ablationCell{
-			Seed:       DeriveSeed(cfg.Seed, trial),
-			Sessions:   cfg.Sessions,
-			Population: cfg.Population,
-			Cheaters:   cfg.Cheaters,
-			Evidence:   cfg.Kinds[ki],
-			Beta:       cfg.Beta,
-			RepStore:   cfg.RepStore,
-			Shards:     1,
-			Engines:    cfg.EnginesPerCell,
+			Seed:            DeriveSeed(cfg.Seed, trial),
+			Sessions:        cfg.Sessions,
+			Population:      cfg.Population,
+			Cheaters:        cfg.Cheaters,
+			Evidence:        cfg.Kinds[ki],
+			Beta:            cfg.Beta,
+			RepStore:        cfg.RepStore,
+			Shards:          1,
+			Engines:         cfg.EnginesPerCell,
+			ObserveExchange: cfg.ExchangeLatency,
 		}
 		if slot > 0 {
 			c.Gossip = gc(cfg.Periods[slot-1])
@@ -154,6 +175,18 @@ func E12EvidencePlane(cfg E12Config) (*Table, error) {
 		return sum / float64(cfg.Trials)
 	}
 	loss := func(c e11Cell) float64 { return c.res.HonestVictimLoss.Float64() }
+	// exchangeLatency folds one (kind, slot)'s wall-clock exchange samples
+	// across trials into a p50/p95/p99 cell; "-" when nothing gossiped.
+	exchangeLatency := func(ki, slot int) string {
+		var d stats.Distribution
+		for t := 0; t < cfg.Trials; t++ {
+			d.Merge(results[t*perTrial+ki*perKind+slot].exch)
+		}
+		if d.Count() == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f/%.0f/%.0f", d.Percentile(0.50), d.Percentile(0.95), d.Percentile(0.99))
+	}
 	for ki, kind := range cfg.Kinds {
 		baseLoss := mean(ki, 0, loss)
 		addRow := func(label string, slot int, gossiped string) {
@@ -166,7 +199,7 @@ func E12EvidencePlane(cfg E12Config) (*Table, error) {
 			if r := mean(ki, slot, func(c e11Cell) float64 { return float64(c.stats.Rounds) }); r > 0 {
 				rounds = itoa(int(r))
 			}
-			tbl.AddRow(
+			row := []string{
 				string(kind),
 				label,
 				pct(mean(ki, slot, func(c e11Cell) float64 { return c.res.TradeRate() })),
@@ -176,7 +209,11 @@ func E12EvidencePlane(cfg E12Config) (*Table, error) {
 				gap,
 				gossiped,
 				rounds,
-			)
+			}
+			if cfg.ExchangeLatency {
+				row = append(row, exchangeLatency(ki, slot))
+			}
+			tbl.AddRow(row...)
 		}
 		for pi, period := range cfg.Periods {
 			slot := pi + 1

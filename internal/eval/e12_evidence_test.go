@@ -302,3 +302,52 @@ func TestGossipEvidenceOnSharded(t *testing.T) {
 		t.Errorf("posterior cells must not claim a complaint backend: %q", tbl.Title)
 	}
 }
+
+// TestE12ExchangeLatencyColumnIsOptInAndPure: the wall-clock latency column
+// (PR 9 carry-over satellite) appears only when asked for, renders
+// p50/p95/p99 on gossiping rows and "-" on baselines — and observing it must
+// not perturb the deterministic table: every pre-existing column is
+// byte-identical with the column on and off.
+func TestE12ExchangeLatencyColumnIsOptInAndPure(t *testing.T) {
+	plain, err := E12EvidencePlane(e12Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e12Quick()
+	cfg.ExchangeLatency = true
+	timed, err := E12EvidencePlane(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(timed.Cols), len(plain.Cols)+1; got != want {
+		t.Fatalf("cols = %d, want %d", got, want)
+	}
+	if timed.Cols[len(timed.Cols)-1] != "exchange p50/p95/p99 µs" {
+		t.Fatalf("latency column header %q", timed.Cols[len(timed.Cols)-1])
+	}
+	if !strings.Contains(timed.Title, "wall-clock") || strings.Contains(plain.Title, "wall-clock") {
+		t.Errorf("wall-clock caveat: timed %q / plain %q", timed.Title, plain.Title)
+	}
+	if len(timed.Rows) != len(plain.Rows) {
+		t.Fatalf("rows = %d vs %d", len(timed.Rows), len(plain.Rows))
+	}
+	perKind := len(cfg.Periods) + 1
+	for ri, row := range timed.Rows {
+		for ci, cell := range plain.Rows[ri] {
+			if row[ci] != cell {
+				t.Errorf("row %d col %d: %q with latency vs %q without — observation perturbed the table", ri, ci, row[ci], cell)
+			}
+		}
+		lat := row[len(row)-1]
+		slot := ri % perKind
+		if slot == perKind-1 || plain.Rows[ri][1] == "∞" {
+			if lat != "-" {
+				t.Errorf("non-gossiping row %d reports latency %q", ri, lat)
+			}
+			continue
+		}
+		if parts := strings.Split(lat, "/"); len(parts) != 3 {
+			t.Errorf("gossiping row %d latency %q, want p50/p95/p99", ri, lat)
+		}
+	}
+}

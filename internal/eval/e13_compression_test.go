@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func e13Quick() E13Config {
+	return E13Config{Seed: 17, Sessions: 80, Population: 9, Trials: 2}
+}
+
+// e13Row finds the sweep row with the given export-policy label.
+func e13Row(t *testing.T, tbl *Table, label string) []string {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] == label {
+			return row
+		}
+	}
+	t.Fatalf("no row %q in\n%s", label, tbl)
+	return nil
+}
+
+// e13Col finds a column index by header.
+func e13Col(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, c := range tbl.Cols {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", name, tbl.Cols)
+	return -1
+}
+
+// TestE13QuickTableShape sanity-checks the rendered frontier: the dense
+// reference first, one row per policy, the single-engine baseline last, byte
+// accounting only on gossiping rows, and the caveats in the title.
+func TestE13QuickTableShape(t *testing.T) {
+	tbl, err := E13CompressionFrontier(e13Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(DefaultE13Policies()) + 2
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d (dense + sweep + baseline)", len(tbl.Rows), wantRows)
+	}
+	if tbl.Rows[0][0] != "dense (PR 5 wire)" || tbl.Rows[wantRows-1][0] != "single engine" {
+		t.Errorf("anchor rows: %q / %q", tbl.Rows[0][0], tbl.Rows[wantRows-1][0])
+	}
+	gapIdx := e13Col(t, tbl, "loss gap vs 1 engine")
+	bytesIdx := e13Col(t, tbl, "bytes/session")
+	ratioIdx := e13Col(t, tbl, "vs dense")
+	base := tbl.Rows[wantRows-1]
+	if base[gapIdx] != "-" || base[bytesIdx] != "-" || base[ratioIdx] != "-" {
+		t.Errorf("baseline row must not report gossip accounting: %v", base)
+	}
+	if tbl.Rows[0][ratioIdx] != "1.00×" {
+		t.Errorf("dense row is its own reference, ratio = %q", tbl.Rows[0][ratioIdx])
+	}
+	if !strings.Contains(tbl.Title, "sharded ×4") || !strings.Contains(tbl.Title, "defer evidence, never drop it") {
+		t.Errorf("title misses the information-structure caveats: %q", tbl.Title)
+	}
+}
+
+// TestE13CodecIsPureRepresentation: the lossless columnar row must agree
+// with the dense reference on every outcome column — trade rate, completion,
+// welfare, honest loss and the gap. The codec changes only how the bytes are
+// laid out; any outcome divergence means the round trip lost evidence.
+func TestE13CodecIsPureRepresentation(t *testing.T) {
+	tbl, err := E13CompressionFrontier(e13Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := e13Row(t, tbl, "dense (PR 5 wire)")
+	columnar := e13Row(t, tbl, "columnar")
+	for _, col := range []string{"trade rate", "completion", "welfare", "honest loss", "loss gap vs 1 engine"} {
+		i := e13Col(t, tbl, col)
+		if dense[i] != columnar[i] {
+			t.Errorf("%s: dense %q != columnar %q — the lossless codec changed an outcome", col, dense[i], columnar[i])
+		}
+	}
+	// And the representation must actually be smaller: the same evidence at
+	// strictly fewer bytes per session.
+	bytesIdx := e13Col(t, tbl, "bytes/session")
+	db, _ := strconv.ParseFloat(dense[bytesIdx], 64)
+	cb, _ := strconv.ParseFloat(columnar[bytesIdx], 64)
+	if !(cb < db) {
+		t.Errorf("columnar bytes/session %.1f not below dense %.1f", cb, db)
+	}
+}
+
+// TestE13FrontierMonotoneAtReference enforces the headline claim of the
+// ablation at the committed reference configuration (full size, seed 42, the
+// table recorded in docs/PERF.md): along the codec axis (dense → columnar →
+// q6) bytes/session strictly falls while outcomes stand still, and along the
+// selective budget axis (columnar → conf0.2 → conf0.7 → conf0.95) every
+// byte shed widens the honest-loss gap — deferring evidence is strictly
+// cheaper and strictly worse, which is what makes the table a frontier and
+// not just a menu. The lossless columnar row must also clear the ≥2×
+// compression floor the PR 10 acceptance pins.
+func TestE13FrontierMonotoneAtReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size E13 (reference configuration)")
+	}
+	tbl, err := E13CompressionFrontier(E13Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapIdx := e13Col(t, tbl, "loss gap vs 1 engine")
+	bytesIdx := e13Col(t, tbl, "bytes/session")
+	cell := func(label string, idx int) float64 {
+		v, err := strconv.ParseFloat(e13Row(t, tbl, label)[idx], 64)
+		if err != nil {
+			t.Fatalf("%s[%d]: %v", label, idx, err)
+		}
+		return v
+	}
+	// Codec axis: strictly fewer bytes at identical outcomes.
+	codecAxis := []string{"dense (PR 5 wire)", "columnar", "columnar+q6"}
+	for i := 1; i < len(codecAxis); i++ {
+		prev, cur := cell(codecAxis[i-1], bytesIdx), cell(codecAxis[i], bytesIdx)
+		if !(cur < prev) {
+			t.Errorf("codec axis bytes/session not strictly falling: %s %.1f after %s %.1f\n%s",
+				codecAxis[i], cur, codecAxis[i-1], prev, tbl)
+		}
+	}
+	if gd, gc := e13Row(t, tbl, "dense (PR 5 wire)")[gapIdx], e13Row(t, tbl, "columnar")[gapIdx]; gd != gc {
+		t.Errorf("lossless codec moved the gap: dense %s vs columnar %s", gd, gc)
+	}
+	if ratio := cell("dense (PR 5 wire)", bytesIdx) / cell("columnar", bytesIdx); ratio < 2 {
+		t.Errorf("lossless columnar compression %.2f× below the 2× floor\n%s", ratio, tbl)
+	}
+	// Budget axis: strictly fewer bytes, strictly wider gap.
+	budgetAxis := []string{"columnar", "columnar+conf0.2+eps0.5", "columnar+conf0.7+eps0.5", "columnar+conf0.95+eps0.5"}
+	for i := 1; i < len(budgetAxis); i++ {
+		pb, cb := cell(budgetAxis[i-1], bytesIdx), cell(budgetAxis[i], bytesIdx)
+		if !(cb < pb) {
+			t.Errorf("budget axis bytes/session not strictly falling: %s %.1f after %s %.1f\n%s",
+				budgetAxis[i], cb, budgetAxis[i-1], pb, tbl)
+		}
+		pg, cg := cell(budgetAxis[i-1], gapIdx), cell(budgetAxis[i], gapIdx)
+		if !(cg > pg) {
+			t.Errorf("budget axis gap not strictly widening: %s %.1f after %s %.1f\n%s",
+				budgetAxis[i], cg, budgetAxis[i-1], pg, tbl)
+		}
+	}
+}
+
+// TestE13RejectsComplaintEvidence: the registry entry refuses -evidence
+// complaints — the sweep is over posterior export policies, there is nothing
+// for a complaint cell to vary.
+func TestE13RejectsComplaintEvidence(t *testing.T) {
+	if _, err := Run("E13", RunConfig{Seed: 1, Quick: true, Evidence: "complaints"}); err == nil {
+		t.Error("E13 accepted -evidence complaints")
+	}
+	if _, err := Run("E13", RunConfig{Seed: 1, Quick: true, Evidence: "posterior+q8"}); err != nil {
+		t.Errorf("E13 rejected an explicit posterior policy: %v", err)
+	}
+}

@@ -43,6 +43,11 @@ type E2Config struct {
 	// (per-agent Beta estimators whose posterior deltas gossip). Ignored
 	// while Gossip is off.
 	Evidence trust.EvidenceKind
+	// Export is the posterior gossip export policy (codec, quantization,
+	// selective export); the zero value is the PR 5 dense wire. Ignored
+	// unless the cells gossip posterior evidence; non-zero policies show in
+	// the title.
+	Export trust.ExportPolicy
 }
 
 func (c E2Config) withDefaults() E2Config {
@@ -54,6 +59,7 @@ func (c E2Config) withDefaults() E2Config {
 	}
 	c.Evidence = gossipEvidence(c.Gossip, c.Evidence)
 	c.RepStore = gossipRepStore(c.Gossip, c.Evidence, c.RepStore)
+	c.Export = gossipExport(c.Gossip, c.Evidence, c.Export)
 	if c.Population <= 0 {
 		c.Population = 24
 	}
@@ -77,7 +83,7 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E2",
-		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, RepStore: cfg.RepStore}.annotate("strategy comparison: trade rate, completion, welfare, honest losses"),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, Export: cfg.Export, RepStore: cfg.RepStore}.annotate("strategy comparison: trade rate, completion, welfare, honest losses"),
 		Cols:  []string{"cheaters", "strategy", "trade rate", "completion", "welfare", "honest loss", "safe plans"},
 	}
 	type cell struct {
@@ -113,6 +119,7 @@ func E2CompletionWelfare(cfg E2Config) (*Table, error) {
 			Concurrency: cfg.Concurrency,
 			RepStore:    cfg.RepStore,
 			Evidence:    cfg.Evidence,
+			Beta:        trust.BetaConfig{Export: cfg.Export},
 			Gossip:      cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})

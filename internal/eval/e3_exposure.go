@@ -33,6 +33,9 @@ type E3Config struct {
 	// Evidence selects the kind the gossiping cells exchange (see
 	// E2Config.Evidence). Ignored while Gossip is off.
 	Evidence trust.EvidenceKind
+	// Export is the posterior gossip export policy (see E2Config.Export).
+	// Ignored unless the cells gossip posterior evidence.
+	Export trust.ExportPolicy
 }
 
 func (c E3Config) withDefaults() E3Config {
@@ -44,6 +47,7 @@ func (c E3Config) withDefaults() E3Config {
 	}
 	c.Evidence = gossipEvidence(c.Gossip, c.Evidence)
 	c.RepStore = gossipRepStore(c.Gossip, c.Evidence, c.RepStore)
+	c.Export = gossipExport(c.Gossip, c.Evidence, c.Export)
 	if c.Population <= 0 {
 		c.Population = 20
 	}
@@ -67,7 +71,7 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E3",
-		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, RepStore: cfg.RepStore}.annotate("planned exposure bounds realised losses (trust-aware strategy)"),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, Export: cfg.Export, RepStore: cfg.RepStore}.annotate("planned exposure bounds realised losses (trust-aware strategy)"),
 		Cols: []string{"cheaters", "side", "planned mean", "planned max",
 			"realised mean", "realised max", "violations"},
 	}
@@ -90,6 +94,7 @@ func E3LossExposure(cfg E3Config) (*Table, error) {
 			Strategy: market.StrategyTrustAware,
 			RepStore: cfg.RepStore,
 			Evidence: cfg.Evidence,
+			Beta:     trust.BetaConfig{Export: cfg.Export},
 			Gossip:   cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})

@@ -32,6 +32,9 @@ type E6Config struct {
 	// Evidence selects the kind the gossiping cells exchange (see
 	// E2Config.Evidence). Ignored while Gossip is off.
 	Evidence trust.EvidenceKind
+	// Export is the posterior gossip export policy (see E2Config.Export).
+	// Ignored unless the cells gossip posterior evidence.
+	Export trust.ExportPolicy
 }
 
 func (c E6Config) withDefaults() E6Config {
@@ -43,6 +46,7 @@ func (c E6Config) withDefaults() E6Config {
 	}
 	c.Evidence = gossipEvidence(c.Gossip, c.Evidence)
 	c.RepStore = gossipRepStore(c.Gossip, c.Evidence, c.RepStore)
+	c.Export = gossipExport(c.Gossip, c.Evidence, c.Export)
 	if c.Population <= 0 {
 		c.Population = 18
 	}
@@ -63,7 +67,7 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
 		ID:    "E6",
-		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, RepStore: cfg.RepStore}.annotate("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary"),
+		Title: cellCaveats{Shards: cfg.CellShards, Gossip: cfg.Gossip, Evidence: cfg.Evidence, Export: cfg.Export, RepStore: cfg.RepStore}.annotate("risk averseness (CARA α) vs welfare and worst-case loss, backstabber adversary"),
 		Cols:  []string{"policy", "trade rate", "completion", "welfare", "honest loss", "max loss"},
 	}
 	results, err := RunTrials(cfg.Workers, len(cfg.Alphas), func(ci int) (market.Result, error) {
@@ -92,6 +96,7 @@ func E6RiskAversion(cfg E6Config) (*Table, error) {
 			Strategy: market.StrategyTrustAware,
 			RepStore: cfg.RepStore,
 			Evidence: cfg.Evidence,
+			Beta:     trust.BetaConfig{Export: cfg.Export},
 			Gossip:   cfg.Gossip,
 		}, cfg.CellShards, cfg.EnginesPerCell)
 	})

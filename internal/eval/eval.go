@@ -25,17 +25,17 @@ func All() map[string]Runner {
 	// the gossip-aware experiments; Run additionally rejects malformed
 	// specs for every id, so a typo fails fast even when only gossip-blind
 	// experiments run.
-	withGossip := func(build func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error)) Runner {
+	withGossip := func(build func(gc gossip.Config, kind trust.EvidenceKind, pol trust.ExportPolicy, rc RunConfig) (*Table, error)) Runner {
 		return func(rc RunConfig) (*Table, error) {
 			gc, err := rc.gossipCfg()
 			if err != nil {
 				return nil, err
 			}
-			kind, err := rc.evidenceKind()
+			kind, pol, err := rc.evidenceKind()
 			if err != nil {
 				return nil, err
 			}
-			return build(gc, kind, rc)
+			return build(gc, kind, pol, rc)
 		}
 	}
 	return map[string]Runner{
@@ -47,8 +47,8 @@ func All() map[string]Runner {
 			}
 			return E1SafeExistence(cfg)
 		},
-		"E2": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
-			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind}
+		"E2": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, pol trust.ExportPolicy, rc RunConfig) (*Table, error) {
+			cfg := E2Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind, Export: pol}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
@@ -56,8 +56,8 @@ func All() map[string]Runner {
 			}
 			return E2CompletionWelfare(cfg)
 		}),
-		"E3": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
-			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind}
+		"E3": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, pol trust.ExportPolicy, rc RunConfig) (*Table, error) {
+			cfg := E3Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind, Export: pol}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 10
@@ -83,8 +83,8 @@ func All() map[string]Runner {
 			}
 			return E5Complexity(cfg)
 		},
-		"E6": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
-			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind}
+		"E6": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, pol trust.ExportPolicy, rc RunConfig) (*Table, error) {
+			cfg := E6Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell, Gossip: gc, Evidence: kind, Export: pol}
 			if rc.Quick {
 				cfg.Sessions = 60
 				cfg.Population = 9
@@ -129,7 +129,7 @@ func All() map[string]Runner {
 			}
 			return E10BackendAblation(cfg)
 		},
-		"E11": withGossip(func(gc gossip.Config, _ trust.EvidenceKind, rc RunConfig) (*Table, error) {
+		"E11": withGossip(func(gc gossip.Config, _ trust.EvidenceKind, _ trust.ExportPolicy, rc RunConfig) (*Table, error) {
 			cfg := E11Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell,
 				Topology: gc.Topology, Fanout: gc.Fanout}
 			if rc.Quick {
@@ -139,9 +139,9 @@ func All() map[string]Runner {
 			}
 			return E11GossipPeriod(cfg)
 		}),
-		"E12": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, rc RunConfig) (*Table, error) {
+		"E12": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, pol trust.ExportPolicy, rc RunConfig) (*Table, error) {
 			cfg := E12Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell,
-				Topology: gc.Topology, Fanout: gc.Fanout}
+				Topology: gc.Topology, Fanout: gc.Fanout, Export: pol, ExchangeLatency: rc.ExchangeLatency}
 			if kind != "" {
 				cfg.Kinds = []trust.EvidenceKind{kind}
 			}
@@ -152,6 +152,24 @@ func All() map[string]Runner {
 				cfg.Trials = 2
 			}
 			return E12EvidencePlane(cfg)
+		}),
+		"E13": withGossip(func(gc gossip.Config, kind trust.EvidenceKind, pol trust.ExportPolicy, rc RunConfig) (*Table, error) {
+			cfg := E13Config{Seed: rc.Seed, Workers: rc.workers(), EnginesPerCell: rc.EnginesPerCell,
+				Topology: gc.Topology, Fanout: gc.Fanout, Period: gc.Period}
+			if kind != "" && kind != trust.EvidencePosterior {
+				return nil, fmt.Errorf("eval: E13 sweeps posterior export policies; -evidence %s does not apply", kind)
+			}
+			if pol != (trust.ExportPolicy{}) {
+				// A single explicit policy replaces the sweep: run just that
+				// row (plus the shared dense reference and baseline).
+				cfg.Policies = []E13Policy{{Label: pol.String(), Export: pol}}
+			}
+			if rc.Quick {
+				cfg.Sessions = 80
+				cfg.Population = 9
+				cfg.Trials = 2
+			}
+			return E13CompressionFrontier(cfg)
 		}),
 	}
 }
@@ -186,7 +204,7 @@ func Run(id string, rc RunConfig) (*Table, error) {
 	if _, err := rc.gossipCfg(); err != nil {
 		return nil, err
 	}
-	if _, err := rc.evidenceKind(); err != nil {
+	if _, _, err := rc.evidenceKind(); err != nil {
 		return nil, err
 	}
 	return r(rc)

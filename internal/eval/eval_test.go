@@ -46,8 +46,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("IDs = %v, want 12 experiments", ids)
+	if len(ids) != 13 {
+		t.Fatalf("IDs = %v, want 13 experiments", ids)
 	}
 	for i, id := range ids {
 		want := "E" + strconv.Itoa(i+1)

@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -41,13 +40,22 @@ type RunConfig struct {
 	// structure and the affected table titles say so. Empty (or "off")
 	// keeps shards isolated.
 	Gossip string
-	// Evidence selects the evidence kind gossiping cells exchange:
-	// "complaints" (the default) runs the shared complaint model over
-	// RepStore, "posterior" runs per-agent Beta estimators whose
-	// Beta-posterior deltas gossip instead (E2, E3, E6 under Gossip); for
-	// E12 it restricts the kind sweep to one kind. Like Gossip it is part
-	// of the experiment definition and shows in the affected titles.
+	// Evidence selects the evidence kind gossiping cells exchange, spec
+	// "KIND[+OPTION...]" (trust.ParseEvidenceSpec): "complaints" (the
+	// default) runs the shared complaint model over RepStore, "posterior"
+	// runs per-agent Beta estimators whose Beta-posterior deltas gossip
+	// instead (E2, E3, E6 under Gossip); for E12 it restricts the kind
+	// sweep to one kind. Posterior options select the export policy —
+	// "posterior+columnar", "posterior+q6", "posterior+top4",
+	// "posterior+conf0.7+eps0.5" — the bandwidth/accuracy knobs E13
+	// sweeps. Like Gossip it is part of the experiment definition and
+	// shows in the affected titles.
 	Evidence string
+	// ExchangeLatency adds wall-clock exchange-latency percentile columns
+	// to E12's table. Off by default: the timings are nondeterministic, so
+	// the column would break the byte-identical-table contract the golden
+	// suite pins.
+	ExchangeLatency bool
 }
 
 // gossipCfg parses the Gossip spec; the zero Config when unset.
@@ -55,20 +63,14 @@ func (rc RunConfig) gossipCfg() (gossip.Config, error) {
 	return gossip.ParseSpec(rc.Gossip)
 }
 
-// evidenceKind resolves the Evidence spec; "" (complaints by default for
-// the gossip-enabled cells, the full sweep for E12) when unset.
-func (rc RunConfig) evidenceKind() (trust.EvidenceKind, error) {
-	switch rc.Evidence {
-	case "":
-		return "", nil
-	case string(trust.EvidenceComplaints):
-		return trust.EvidenceComplaints, nil
-	case string(trust.EvidencePosterior):
-		return trust.EvidencePosterior, nil
-	default:
-		return "", fmt.Errorf("eval: unknown evidence kind %q (have %s, %s)",
-			rc.Evidence, trust.EvidenceComplaints, trust.EvidencePosterior)
+// evidenceKind resolves the Evidence spec into a kind and a posterior export
+// policy; "" and the zero policy (complaints by default for the
+// gossip-enabled cells, the full sweep for E12) when unset.
+func (rc RunConfig) evidenceKind() (trust.EvidenceKind, trust.ExportPolicy, error) {
+	if rc.Evidence == "" {
+		return "", trust.ExportPolicy{}, nil
 	}
+	return trust.ParseEvidenceSpec(rc.Evidence)
 }
 
 // repStores splits the RepStore list; nil when unset.

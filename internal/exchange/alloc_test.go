@@ -12,8 +12,14 @@ import (
 // is provably optimal, so a Schedule call resolves without the exact search
 // and must stay within a small constant number of allocations (the returned
 // plan itself plus pool-warmup noise). The seed implementation spent ~47
-// allocations per call here; the pooled-scratch path spends ~4.
+// allocations per call here; pooling the scratch buffers brought it to ~4,
+// and pooling the validation dedup set (goods.Bundle.Validate) leaves ~1 —
+// the returned plan's Sequence, which escapes to the caller and cannot be
+// recycled.
 func TestScheduleFastPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the budget is only meaningful unraced")
+	}
 	rng := rand.New(rand.NewSource(3))
 	gen := goods.DefaultGenConfig() // positive margins: every surplus ≥ 0
 	gen.Items = 64
@@ -37,7 +43,7 @@ func TestScheduleFastPathAllocs(t *testing.T) {
 	}
 	warm() // populate the scratch pool before measuring
 
-	const maxAllocs = 8
+	const maxAllocs = 2
 	if got := testing.AllocsPerRun(100, func() {
 		if _, err := ScheduleSafe(terms, Stakes{Supplier: stake}, Options{}); err != nil {
 			t.Error(err)

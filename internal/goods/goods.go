@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // Item is one indivisible chunk of the good being exchanged: x in the paper,
@@ -29,6 +30,12 @@ type Bundle struct {
 // ErrEmptyBundle is returned when an operation requires at least one item.
 var ErrEmptyBundle = errors.New("goods: empty bundle")
 
+// seenPool recycles Validate's ID-dedup sets. Validation runs on every
+// exchange.Schedule call (the market hot path schedules thousands of bundles
+// per second), and rebuilding a 64-entry map there was most of the
+// scheduler's per-call allocation budget.
+var seenPool = sync.Pool{New: func() any { return make(map[string]bool) }}
+
 // NewBundle copies items into a fresh Bundle and validates it.
 func NewBundle(items ...Item) (Bundle, error) {
 	b := Bundle{Items: make([]Item, len(items))}
@@ -47,7 +54,9 @@ func (b Bundle) Validate() error {
 	if len(b.Items) == 0 {
 		return ErrEmptyBundle
 	}
-	seen := make(map[string]bool, len(b.Items))
+	seen := seenPool.Get().(map[string]bool)
+	clear(seen) // returned dirty on the early-error paths
+	defer seenPool.Put(seen)
 	for i, it := range b.Items {
 		if it.ID == "" {
 			return fmt.Errorf("goods: item %d has empty ID", i)

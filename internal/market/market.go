@@ -97,7 +97,10 @@ type Config struct {
 	//     cells shard. Mutually exclusive with RepStore and EstimatorOf.
 	Evidence trust.EvidenceKind
 	// Beta tunes the posterior estimators (Evidence = posterior); the zero
-	// value is the uniform prior with no forgetting.
+	// value is the uniform prior with no forgetting. Beta.Export selects the
+	// posterior gossip export policy (codec, quantization, selective export)
+	// and therefore requires Evidence = posterior — there is no posterior
+	// plane to compress otherwise.
 	Beta trust.BetaConfig
 	// Gossip configures cross-shard complaint gossip for cells sharded
 	// across sub-engines (eval.RunCell): every Gossip.Period sessions the
@@ -156,6 +159,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Evidence == trust.EvidenceComplaints && c.RepStore == "" {
 		return c, errors.New("market: complaint evidence requires a RepStore backend")
+	}
+	if c.Evidence != trust.EvidencePosterior && c.Beta.Export != (trust.ExportPolicy{}) {
+		return c, errors.New("market: Beta.Export policy requires posterior evidence (there is no posterior plane to compress)")
 	}
 	if c.Evidence == trust.EvidencePosterior {
 		if c.RepStore != "" {

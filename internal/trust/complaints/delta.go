@@ -40,9 +40,12 @@ func (d *Delta) Merge(other trust.EvidenceDelta) error {
 }
 
 // complaint delta wire format: per complaint, uvarint-length-prefixed From
-// then About, with no header — so for the short peer IDs the experiments use
-// (< 128 bytes) the encoded size is len(From) + len(About) + 2, exactly the
-// wire-size estimate the gossip accounting has always reported.
+// then About, with no header. EncodedSize is exact for every ID length —
+// len(From) + len(About) plus one uvarint length prefix each, so a prefix
+// grows past one byte once an ID reaches 128 bytes. (The familiar
+// "len(From) + len(About) + 2" figure the gossip accounting reports for the
+// experiments' short IDs is the short-ID special case of that formula, not
+// the definition; delta_test.go pins the equality on multi-byte-prefix IDs.)
 
 // EncodedSize implements trust.EvidenceDelta.
 func (d *Delta) EncodedSize() int {

@@ -43,6 +43,41 @@ func TestComplaintDeltaRoundTrip(t *testing.T) {
 	}
 }
 
+// TestComplaintDeltaEncodedSizeExactForLongIDs pins EncodedSize == len(Encode)
+// where the old "+2" wire estimate breaks: IDs of 128+ bytes take a two-byte
+// uvarint length prefix, and 16384+ take three. The delta must still round-trip
+// and account for itself exactly there.
+func TestComplaintDeltaEncodedSizeExactForLongIDs(t *testing.T) {
+	long := func(n int) trust.PeerID { return trust.PeerID(bytes.Repeat([]byte{'x'}, n)) }
+	for _, c := range []struct {
+		batch      []Complaint
+		shortGuess int // the naive len(From)+len(About)+2 figure
+		want       int
+	}{
+		{[]Complaint{{From: long(127), About: "a"}}, 130, 130},             // both prefixes 1 byte
+		{[]Complaint{{From: long(128), About: "a"}}, 131, 132},             // From prefix grows to 2
+		{[]Complaint{{From: long(128), About: long(200)}}, 330, 332},       // both prefixes 2 bytes
+		{[]Complaint{{From: long(16384), About: long(300)}}, 16686, 16689}, // 3-byte + 2-byte prefixes
+	} {
+		d := NewDelta(c.batch)
+		enc := d.Encode()
+		if d.EncodedSize() != len(enc) {
+			t.Errorf("len(From)=%d: EncodedSize %d != len(Encode) %d", len(c.batch[0].From), d.EncodedSize(), len(enc))
+		}
+		if len(enc) != c.want {
+			t.Errorf("len(From)=%d: encoded %d bytes, want %d (naive short-ID estimate %d)",
+				len(c.batch[0].From), len(enc), c.want, c.shortGuess)
+		}
+		got, err := trust.DecodeEvidence(trust.EvidenceComplaints, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.(*Delta).Complaints, c.batch) {
+			t.Errorf("len(From)=%d: round trip diverged", len(c.batch[0].From))
+		}
+	}
+}
+
 // TestComplaintDeltaDecodeRejectsTruncation: hostile bytes error, never
 // panic or silently drop a record.
 func TestComplaintDeltaDecodeRejectsTruncation(t *testing.T) {

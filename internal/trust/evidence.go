@@ -135,6 +135,14 @@ type PosteriorDelta struct {
 	// in (0, 1]; apply and merge require it to match, since the decay
 	// compensation below is defined in terms of it.
 	Decay float64
+	// Codec selects the wire encoding (PosteriorDense, the PR 5 row-major
+	// default, or PosteriorColumnar). Decoding restores whichever codec the
+	// bytes were in; Merge keeps the receiver's.
+	Codec PosteriorCodec
+	// Quantum is the lossy fixed-point fractional bit count for encoded
+	// masses; 0 means lossless. Only the columnar codec can carry it — the
+	// in-memory rows always hold the exact (possibly quantized) values.
+	Quantum uint8
 	// Rows is strictly ascending by (Observer, Subject).
 	Rows []PosteriorRow
 }
@@ -200,7 +208,9 @@ func (d *PosteriorDelta) Items() int { return len(d.Rows) }
 
 // Merge implements EvidenceDelta: other is the later delta; matching keys
 // coalesce with decay compensation, so merged-then-applied equals
-// applied-then-applied.
+// applied-then-applied. The receiver's Codec and Quantum win — what a hop
+// re-encodes is its own policy, and keeping the left operand's fields is
+// what makes mixed-codec merges associative.
 func (d *PosteriorDelta) Merge(other EvidenceDelta) error {
 	o, ok := other.(*PosteriorDelta)
 	if !ok {
@@ -280,14 +290,19 @@ func ExportPosterior(observers []PeerID, lookup func(PeerID) *Beta) *PosteriorDe
 	return out
 }
 
-// posterior wire format: 8 bytes decay (IEEE 754 bits, big endian), uvarint
-// row count, then per row uvarint-length-prefixed Observer and Subject,
-// 8 bytes Coop, 8 bytes Defect, uvarint Obs. Canonical: decoding enforces
-// strictly ascending keys, finite non-negative masses, Obs ≥ 1 and a decay
-// in (0, 1], so any successfully decoded delta re-encodes byte-identically.
+// dense posterior wire format: 8 bytes decay (IEEE 754 bits, big endian),
+// uvarint row count, then per row uvarint-length-prefixed Observer and
+// Subject, 8 bytes Coop, 8 bytes Defect, uvarint Obs. Canonical: decoding
+// enforces strictly ascending keys, finite non-negative masses, Obs ≥ 1 and a
+// decay in (0, 1], so any successfully decoded delta re-encodes
+// byte-identically. The columnar alternative lives in posterior_codec.go;
+// both share this kind, told apart by the first byte (≥ 0x40 ⇒ columnar).
 
 // EncodedSize implements EvidenceDelta.
 func (d *PosteriorDelta) EncodedSize() int {
+	if d.Codec == PosteriorColumnar {
+		return d.columnarSize()
+	}
 	n := 8 + UvarintLen(uint64(len(d.Rows)))
 	for _, r := range d.Rows {
 		n += UvarintLen(uint64(len(r.Observer))) + len(r.Observer)
@@ -300,6 +315,9 @@ func (d *PosteriorDelta) EncodedSize() int {
 // Encode implements EvidenceDelta.
 func (d *PosteriorDelta) Encode() []byte {
 	out := make([]byte, 0, d.EncodedSize())
+	if d.Codec == PosteriorColumnar {
+		return d.appendColumnar(out)
+	}
 	out = binary.BigEndian.AppendUint64(out, math.Float64bits(d.Decay))
 	out = binary.AppendUvarint(out, uint64(len(d.Rows)))
 	for _, r := range d.Rows {
@@ -315,6 +333,9 @@ func (d *PosteriorDelta) Encode() []byte {
 }
 
 func decodePosteriorDelta(data []byte) (EvidenceDelta, error) {
+	if len(data) > 0 && data[0] == columnarMagic {
+		return decodePosteriorColumnar(data)
+	}
 	if len(data) < 8 {
 		return nil, fmt.Errorf("trust: posterior delta truncated before decay")
 	}

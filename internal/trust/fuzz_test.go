@@ -32,6 +32,20 @@ func FuzzEvidenceDeltaRoundTrip(f *testing.F) {
 		0x3f, 0xf0, 0, 0, 0, 0, 0, 0, // coop 1.0
 		0, 0, 0, 0, 0, 0, 0, 0, // defect 0.0
 		1), uint8(1), uint8(9)) // obs 1
+	// Valid columnar posterior bytes (PR 10): lossless, and lossy fixed
+	// point at 6 fractional bits. Built through the encoder so the seeds
+	// track the format.
+	col := trust.NewPosteriorDelta(1, []trust.PosteriorRow{
+		{Observer: "a", Subject: "b", Coop: 1, Obs: 1},
+		{Observer: "a", Subject: "c", Defect: 2, Obs: 2},
+		{Observer: "b", Subject: "a", Coop: 0.5, Defect: 0.25, Obs: 3},
+	})
+	col.Codec = trust.PosteriorColumnar
+	f.Add(col.Encode(), uint8(1), uint8(4))
+	col.Quantum = 6
+	f.Add(col.Encode(), uint8(1), uint8(6))
+	// Columnar header with reserved flag bits set — must reject.
+	f.Add([]byte{0xc5, 0x40, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(1), uint8(0))
 	// Garbage.
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(1), uint8(0))
 	f.Add([]byte{}, uint8(0), uint8(1))

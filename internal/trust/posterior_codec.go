@@ -1,0 +1,461 @@
+package trust
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PosteriorCodec selects the wire encoding of a posterior delta. Both codecs
+// share the registered "posterior" evidence kind: the decoder tells them
+// apart by the first byte (see columnarMagic), so a fabric of mixed-policy
+// peers interoperates without a protocol negotiation.
+type PosteriorCodec uint8
+
+const (
+	// PosteriorDense is the PR 5 row-major format — length-prefixed peer IDs
+	// and 8-byte masses per row. The wire-compatible default.
+	PosteriorDense PosteriorCodec = iota
+	// PosteriorColumnar interns peer IDs in a per-delta string table and
+	// splits the rows into per-field uvarint columns (observer index deltas,
+	// subject indices, masses, observation counts).
+	PosteriorColumnar
+)
+
+// String implements fmt.Stringer.
+func (c PosteriorCodec) String() string {
+	if c == PosteriorColumnar {
+		return "columnar"
+	}
+	return "dense"
+}
+
+// columnarMagic opens every columnar encoding. The dense format starts with
+// the top byte of Float64bits(decay); for decay ∈ (0, 1] — the only decays a
+// canonical delta carries — that byte is at most 0x3F (sign 0, exponent
+// ≤ 1023), so any first byte ≥ 0x40 is unreachable by a valid dense
+// encoding and unambiguously selects the columnar decoder.
+const columnarMagic = 0xC5
+
+// maxQuantum bounds the lossy fixed-point fractional bits: 2^52 keeps every
+// quantized integer (≤ maxQuantMass) exactly representable in a float64, so
+// decode∘encode stays the identity on the encoder's image.
+const maxQuantum = 52
+
+// maxQuantMass caps a quantized mass word at 2^53 — the largest integer range
+// float64 represents exactly. Encode clamps, decode rejects beyond it.
+const maxQuantMass = uint64(1) << 53
+
+// ExportPolicy tunes what Beta.ExportDelta ships and how it is encoded —
+// the bandwidth/accuracy knobs of the posterior gossip plane. The zero value
+// is the PR 5 behaviour: export everything pending, dense codec, lossless.
+//
+// Selective knobs (TopK, MinConfidence) never drop evidence: a withheld
+// subject's mass stays in the pending accumulator, keeps decaying in step
+// with the main counts, and ships in a later export once it qualifies (or
+// when the knobs are loosened). Deferred, not dropped.
+type ExportPolicy struct {
+	// Codec selects the wire encoding of exported deltas.
+	Codec PosteriorCodec
+	// QuantizeBits > 0 encodes masses lossily as fixed point with that many
+	// fractional bits (granularity 2^-QuantizeBits). Implies the columnar
+	// codec — the dense format has no flags byte to carry it. Capped at 52.
+	QuantizeBits uint8
+	// TopK > 0 caps each export at the K pending subjects with the most
+	// observations (ties to the smaller subject ID). 0 exports all.
+	TopK int
+	// MinConfidence > 0 defers a subject until the Chernoff reliability of
+	// its pending observation count, Reliability(pendObs, Epsilon), reaches
+	// it. 0 exports regardless.
+	MinConfidence float64
+	// Epsilon is the error tolerance for MinConfidence; 0 uses the
+	// estimator's own Epsilon.
+	Epsilon float64
+}
+
+// withDefaults normalises the policy: quantization implies the columnar
+// codec and is capped at maxQuantum, and out-of-range knobs clamp to off.
+func (p ExportPolicy) withDefaults() ExportPolicy {
+	if p.QuantizeBits > maxQuantum {
+		p.QuantizeBits = maxQuantum
+	}
+	if p.QuantizeBits > 0 {
+		p.Codec = PosteriorColumnar
+	}
+	if p.Codec != PosteriorColumnar {
+		p.Codec = PosteriorDense
+	}
+	if p.TopK < 0 {
+		p.TopK = 0
+	}
+	if math.IsNaN(p.MinConfidence) || p.MinConfidence < 0 || p.MinConfidence >= 1 {
+		p.MinConfidence = 0
+	}
+	if math.IsNaN(p.Epsilon) || p.Epsilon < 0 {
+		p.Epsilon = 0
+	}
+	return p
+}
+
+// selective reports whether the policy withholds any pending evidence.
+func (p ExportPolicy) selective() bool { return p.TopK > 0 || p.MinConfidence > 0 }
+
+// String renders the policy as the option tokens ParseEvidenceSpec accepts:
+// "dense" for the zero policy, else e.g. "columnar+q6+top4+conf0.7+eps0.5".
+func (p ExportPolicy) String() string {
+	p = p.withDefaults()
+	var parts []string
+	parts = append(parts, p.Codec.String())
+	if p.QuantizeBits > 0 {
+		parts = append(parts, "q"+strconv.Itoa(int(p.QuantizeBits)))
+	}
+	if p.TopK > 0 {
+		parts = append(parts, "top"+strconv.Itoa(p.TopK))
+	}
+	if p.MinConfidence > 0 {
+		parts = append(parts, "conf"+strconv.FormatFloat(p.MinConfidence, 'g', -1, 64))
+	}
+	if p.Epsilon > 0 {
+		parts = append(parts, "eps"+strconv.FormatFloat(p.Epsilon, 'g', -1, 64))
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseEvidenceSpec parses an -evidence flag value: KIND[+OPTION...].
+// Kinds are "complaints" and "posterior". Posterior options select the
+// export policy: "dense" / "columnar" (codec), "qN" (lossy fixed point, N
+// fractional bits, ≤ 52), "topN" (top-K subjects per export), "confX"
+// (defer subjects below reliability X ∈ [0, 1)) and "epsX" (reliability
+// tolerance for confX). Options on "complaints" are an error — the
+// complaint batch has a single codec.
+func ParseEvidenceSpec(spec string) (EvidenceKind, ExportPolicy, error) {
+	parts := strings.Split(spec, "+")
+	kind := EvidenceKind(parts[0])
+	var pol ExportPolicy
+	switch kind {
+	case EvidenceComplaints:
+		if len(parts) > 1 {
+			return "", pol, fmt.Errorf("trust: evidence spec %q: complaints take no codec options", spec)
+		}
+		return kind, pol, nil
+	case EvidencePosterior:
+	default:
+		return "", pol, fmt.Errorf("trust: evidence spec %q: unknown kind %q (want complaints or posterior)", spec, parts[0])
+	}
+	for _, opt := range parts[1:] {
+		switch {
+		case opt == "dense":
+			pol.Codec = PosteriorDense
+		case opt == "columnar":
+			pol.Codec = PosteriorColumnar
+		case strings.HasPrefix(opt, "q"):
+			n, err := strconv.Atoi(opt[1:])
+			if err != nil || n < 1 || n > maxQuantum {
+				return "", pol, fmt.Errorf("trust: evidence spec %q: option %q wants q1..q%d", spec, opt, maxQuantum)
+			}
+			pol.QuantizeBits = uint8(n)
+		case strings.HasPrefix(opt, "top"):
+			n, err := strconv.Atoi(opt[3:])
+			if err != nil || n < 1 {
+				return "", pol, fmt.Errorf("trust: evidence spec %q: option %q wants a positive top-k", spec, opt)
+			}
+			pol.TopK = n
+		case strings.HasPrefix(opt, "conf"):
+			v, err := strconv.ParseFloat(opt[4:], 64)
+			if err != nil || v <= 0 || v >= 1 {
+				return "", pol, fmt.Errorf("trust: evidence spec %q: option %q wants a confidence in (0, 1)", spec, opt)
+			}
+			pol.MinConfidence = v
+		case strings.HasPrefix(opt, "eps"):
+			v, err := strconv.ParseFloat(opt[3:], 64)
+			if err != nil || v <= 0 {
+				return "", pol, fmt.Errorf("trust: evidence spec %q: option %q wants a positive epsilon", spec, opt)
+			}
+			pol.Epsilon = v
+		default:
+			return "", pol, fmt.Errorf("trust: evidence spec %q: unknown option %q", spec, opt)
+		}
+	}
+	if pol.QuantizeBits > 0 {
+		pol.Codec = PosteriorColumnar
+	}
+	return kind, pol, nil
+}
+
+// columnar posterior wire format (same registered kind as the dense format,
+// auto-detected by the first byte):
+//
+//	byte 0     columnarMagic (0xC5)
+//	byte 1     flags: bits 0–5 = quantum fractional bits q (0 = lossless
+//	           masses), bits 6–7 reserved, must be zero
+//	bytes 2–9  decay, IEEE 754 bits big endian (as in the dense format)
+//	uvarint    string-table entry count T, then T uvarint-length-prefixed
+//	           entries, strictly ascending bytewise — exactly the distinct
+//	           peer IDs the rows mention, interned once each
+//	uvarint    row count N, then five N-long uvarint columns:
+//	  observers  table index: absolute for row 0, else delta vs the previous
+//	             row (≥ 0 — rows sort by observer, so no zigzag is needed)
+//	  subjects   table index: absolute at each observer-run start, else
+//	             delta−1 vs the previous subject (strictly ascending in-run)
+//	  coop       lossless (q=0): uvarint of ReverseBytes64(Float64bits(v)),
+//	             mantissa-low bytes first so common small dyadic masses cost
+//	             1–3 bytes; lossy (q>0): uvarint of round(v·2^q)
+//	  defect     same encoding as coop
+//	  obs        observation counts
+//
+// Canonical like the dense format: decode enforces the reserved flag bits,
+// q ≤ 52, decay ∈ (0, 1], strictly ascending fully-referenced string table,
+// in-range indices, finite non-negative masses (quantized words ≤ 2^53) and
+// Obs ≥ 1, so every successfully decoded delta re-encodes byte-identically
+// (modulo attacker-supplied non-minimal varints, as everywhere).
+
+// columnarTable is the delta's interned string table: the distinct peer IDs
+// its rows mention, sorted, plus the index to ordinal map.
+func (d *PosteriorDelta) columnarTable() ([]PeerID, map[PeerID]uint64) {
+	ids := make([]PeerID, 0, 2*len(d.Rows))
+	for _, r := range d.Rows {
+		ids = append(ids, r.Observer, r.Subject)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	table := ids[:0]
+	for _, id := range ids {
+		if n := len(table); n == 0 || table[n-1] != id {
+			table = append(table, id)
+		}
+	}
+	index := make(map[PeerID]uint64, len(table))
+	for i, id := range table {
+		index[id] = uint64(i)
+	}
+	return table, index
+}
+
+// massWord is the column word for a mass value: reversed float bits when
+// lossless, fixed point (clamped to maxQuantMass) when quantizing.
+func massWord(v float64, quantum uint8) uint64 {
+	if quantum == 0 {
+		return bits.ReverseBytes64(math.Float64bits(v))
+	}
+	k := math.Round(v * float64(uint64(1)<<quantum))
+	if !(k > 0) { // NaN and negatives clamp to zero mass
+		return 0
+	}
+	if k >= float64(maxQuantMass) {
+		return maxQuantMass
+	}
+	return uint64(k)
+}
+
+// emitColumns walks the five columns in wire order, calling emit for every
+// uvarint word — the single source of truth shared by the size accounting
+// and the encoder.
+func (d *PosteriorDelta) emitColumns(index map[PeerID]uint64, emit func(uint64)) {
+	prev := uint64(0)
+	for i, r := range d.Rows {
+		idx := index[r.Observer]
+		if i == 0 {
+			emit(idx)
+		} else {
+			emit(idx - prev)
+		}
+		prev = idx
+	}
+	prevObs, prevSubj := uint64(0), uint64(0)
+	for i, r := range d.Rows {
+		oi, si := index[r.Observer], index[r.Subject]
+		if i == 0 || oi != prevObs {
+			emit(si)
+		} else {
+			emit(si - prevSubj - 1)
+		}
+		prevObs, prevSubj = oi, si
+	}
+	for _, r := range d.Rows {
+		emit(massWord(r.Coop, d.Quantum))
+	}
+	for _, r := range d.Rows {
+		emit(massWord(r.Defect, d.Quantum))
+	}
+	for _, r := range d.Rows {
+		emit(r.Obs)
+	}
+}
+
+// columnarSize is len(appendColumnar(nil)) without materialising the bytes.
+func (d *PosteriorDelta) columnarSize() int {
+	table, index := d.columnarTable()
+	n := 2 + 8 + UvarintLen(uint64(len(table)))
+	for _, id := range table {
+		n += UvarintLen(uint64(len(id))) + len(id)
+	}
+	n += UvarintLen(uint64(len(d.Rows)))
+	d.emitColumns(index, func(v uint64) { n += UvarintLen(v) })
+	return n
+}
+
+// appendColumnar appends the columnar encoding of the delta.
+func (d *PosteriorDelta) appendColumnar(out []byte) []byte {
+	table, index := d.columnarTable()
+	out = append(out, columnarMagic, d.Quantum&0x3F)
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(d.Decay))
+	out = binary.AppendUvarint(out, uint64(len(table)))
+	for _, id := range table {
+		out = binary.AppendUvarint(out, uint64(len(id)))
+		out = append(out, id...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(d.Rows)))
+	d.emitColumns(index, func(v uint64) { out = binary.AppendUvarint(out, v) })
+	return out
+}
+
+func decodePosteriorColumnar(data []byte) (EvidenceDelta, error) {
+	if len(data) < 10 {
+		return nil, fmt.Errorf("trust: columnar posterior delta truncated in header")
+	}
+	flags := data[1]
+	if flags&0xC0 != 0 {
+		return nil, fmt.Errorf("trust: columnar posterior delta has reserved flag bits %#x", flags)
+	}
+	quantum := flags & 0x3F
+	if quantum > maxQuantum {
+		return nil, fmt.Errorf("trust: columnar posterior delta quantum %d exceeds %d", quantum, maxQuantum)
+	}
+	decay := math.Float64frombits(binary.BigEndian.Uint64(data[2:]))
+	if math.IsNaN(decay) || decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("trust: posterior delta decay %v outside (0, 1]", decay)
+	}
+	data = data[10:]
+	readUvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("trust: columnar posterior delta truncated in %s", what)
+		}
+		data = data[n:]
+		return v, nil
+	}
+	tableLen, err := readUvarint("string-table count")
+	if err != nil {
+		return nil, err
+	}
+	if tableLen > uint64(len(data)) { // each entry costs at least its length prefix
+		return nil, fmt.Errorf("trust: columnar posterior delta claims %d table entries in %d bytes", tableLen, len(data))
+	}
+	table := make([]PeerID, 0, tableLen)
+	for i := uint64(0); i < tableLen; i++ {
+		l, n := binary.Uvarint(data)
+		if n <= 0 || l > uint64(len(data)-n) {
+			return nil, fmt.Errorf("trust: columnar posterior delta truncated in string table")
+		}
+		id := PeerID(data[n : n+int(l)])
+		data = data[n+int(l):]
+		if len(table) > 0 && table[len(table)-1] >= id {
+			return nil, fmt.Errorf("trust: columnar posterior string table not strictly ascending at %d", i)
+		}
+		table = append(table, id)
+	}
+	count, err := readUvarint("row count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(data))/5+1 { // five ≥1-byte column words per row
+		return nil, fmt.Errorf("trust: columnar posterior delta claims %d rows in %d bytes", count, len(data))
+	}
+	used := make([]bool, len(table))
+	observers := make([]uint64, count)
+	prev := uint64(0)
+	for i := range observers {
+		delta, err := readUvarint("observer column")
+		if err != nil {
+			return nil, err
+		}
+		idx := delta
+		if i > 0 {
+			if delta > uint64(len(table)) { // overflow guard before the add
+				return nil, fmt.Errorf("trust: columnar posterior observer delta %d out of range", delta)
+			}
+			idx = prev + delta
+		}
+		if idx >= uint64(len(table)) {
+			return nil, fmt.Errorf("trust: columnar posterior observer index %d out of range", idx)
+		}
+		observers[i] = idx
+		used[idx] = true
+		prev = idx
+	}
+	subjects := make([]uint64, count)
+	prevSubj := uint64(0)
+	for i := range subjects {
+		v, err := readUvarint("subject column")
+		if err != nil {
+			return nil, err
+		}
+		idx := v
+		if i > 0 && observers[i] == observers[i-1] {
+			if v > uint64(len(table)) {
+				return nil, fmt.Errorf("trust: columnar posterior subject delta %d out of range", v)
+			}
+			idx = prevSubj + 1 + v
+		}
+		if idx >= uint64(len(table)) {
+			return nil, fmt.Errorf("trust: columnar posterior subject index %d out of range", idx)
+		}
+		subjects[i] = idx
+		used[idx] = true
+		prevSubj = idx
+	}
+	readMass := func(what string, i int) (float64, error) {
+		w, err := readUvarint(what)
+		if err != nil {
+			return 0, err
+		}
+		if quantum > 0 {
+			if w > maxQuantMass {
+				return 0, fmt.Errorf("trust: columnar posterior row %d %s word %d exceeds 2^53", i, what, w)
+			}
+			return float64(w) / float64(uint64(1)<<quantum), nil
+		}
+		v := math.Float64frombits(bits.ReverseBytes64(w))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, fmt.Errorf("trust: columnar posterior row %d has non-finite or negative %s", i, what)
+		}
+		return v, nil
+	}
+	rows := make([]PosteriorRow, count)
+	for i := range rows {
+		if rows[i].Coop, err = readMass("coop mass", i); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		if rows[i].Defect, err = readMass("defect mass", i); err != nil {
+			return nil, err
+		}
+	}
+	for i := range rows {
+		obs, err := readUvarint("observation column")
+		if err != nil {
+			return nil, err
+		}
+		if obs == 0 {
+			return nil, fmt.Errorf("trust: posterior row %d has no observations", i)
+		}
+		rows[i].Obs = obs
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("trust: %d trailing bytes after posterior delta", len(data))
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("trust: columnar posterior string-table entry %d (%q) unused", i, table[i])
+		}
+	}
+	for i := range rows {
+		rows[i].Observer = table[observers[i]]
+		rows[i].Subject = table[subjects[i]]
+	}
+	return &PosteriorDelta{Decay: decay, Codec: PosteriorColumnar, Quantum: quantum, Rows: rows}, nil
+}

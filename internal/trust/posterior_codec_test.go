@@ -1,0 +1,368 @@
+package trust
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// columnarDelta builds a canonical delta carrying the columnar codec.
+func columnarDelta(decay float64, quantum uint8, rows []PosteriorRow) *PosteriorDelta {
+	d := NewPosteriorDelta(decay, rows)
+	d.Codec = PosteriorColumnar
+	d.Quantum = quantum
+	return d
+}
+
+// TestColumnarRoundTrip: Decode∘Encode is the identity on canonical columnar
+// deltas — lossless and lossy — and the decoder restores the codec fields so
+// a forwarding hop re-encodes byte-identically.
+func TestColumnarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, decay := range []float64{1, 0.95, 0.5} {
+		for _, quantum := range []uint8{0, 6, 16, 52} {
+			d := columnarDelta(decay, quantum, randRows(rng, 12))
+			if quantum > 0 {
+				// Lossy identity holds on the encoder's image: pre-quantize
+				// the rows (through the codec's own word mapping, clamp and
+				// all) so DeepEqual compares exact values.
+				scale := float64(uint64(1) << quantum)
+				for i := range d.Rows {
+					d.Rows[i].Coop = float64(massWord(d.Rows[i].Coop, quantum)) / scale
+					d.Rows[i].Defect = float64(massWord(d.Rows[i].Defect, quantum)) / scale
+				}
+			}
+			enc := d.Encode()
+			if len(enc) != d.EncodedSize() {
+				t.Fatalf("decay %v q%d: EncodedSize %d != len(Encode) %d", decay, quantum, d.EncodedSize(), len(enc))
+			}
+			if enc[0] != columnarMagic {
+				t.Fatalf("decay %v q%d: first byte %#x, want magic %#x", decay, quantum, enc[0], columnarMagic)
+			}
+			got, err := DecodeEvidence(EvidencePosterior, enc)
+			if err != nil {
+				t.Fatalf("decay %v q%d: %v", decay, quantum, err)
+			}
+			if !reflect.DeepEqual(got, d) {
+				t.Errorf("decay %v q%d: round trip diverged:\n%+v\nvs\n%+v", decay, quantum, got, d)
+			}
+			if !bytes.Equal(got.Encode(), enc) {
+				t.Errorf("decay %v q%d: re-encode differs", decay, quantum)
+			}
+		}
+	}
+}
+
+// TestColumnarLossyQuantizationError: a lossy decode lands within half a
+// quantization step of the original mass — the whole loss budget of the mode.
+func TestColumnarLossyQuantizationError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, quantum := range []uint8{4, 8, 20} {
+		step := 1 / float64(uint64(1)<<quantum)
+		rows := make([]PosteriorRow, 16)
+		for i := range rows {
+			rows[i] = PosteriorRow{
+				Observer: "o",
+				Subject:  PeerID(fmt.Sprintf("s%02d", i)),
+				Coop:     rng.Float64() * 40,
+				Defect:   rng.Float64() * 3,
+				Obs:      uint64(1 + rng.Intn(5)),
+			}
+		}
+		d := columnarDelta(1, quantum, rows)
+		got, err := DecodeEvidence(EvidencePosterior, d.Encode())
+		if err != nil {
+			t.Fatalf("q%d: %v", quantum, err)
+		}
+		for i, r := range got.(*PosteriorDelta).Rows {
+			want := d.Rows[i]
+			if math.Abs(r.Coop-want.Coop) > step/2 || math.Abs(r.Defect-want.Defect) > step/2 {
+				t.Errorf("q%d row %d: quantization error beyond step/2: got (%v, %v) want (%v, %v)",
+					quantum, i, r.Coop, r.Defect, want.Coop, want.Defect)
+			}
+		}
+	}
+}
+
+// TestColumnarBeatsDenseTwofold pins the acceptance floor at the codec level:
+// on a representative gossip delta (few observers, many subjects, small
+// integer-ish masses) the columnar encoding must be at most half the dense
+// size. The committed bench artifact pins the same floor end to end in
+// bytes/session (TestBenchArtifactsEvidenceCodecCompression).
+func TestColumnarBeatsDenseTwofold(t *testing.T) {
+	var rows []PosteriorRow
+	for o := 0; o < 4; o++ {
+		for s := 0; s < 16; s++ {
+			rows = append(rows, PosteriorRow{
+				Observer: PeerID(fmt.Sprintf("agent-%02d", o)),
+				Subject:  PeerID(fmt.Sprintf("agent-%02d", 4+s)),
+				Coop:     float64(s%5) + 0.5,
+				Defect:   float64(s % 3),
+				Obs:      uint64(s%7 + 1),
+			})
+		}
+	}
+	d := NewPosteriorDelta(1, rows)
+	dense := d.EncodedSize()
+	d.Codec = PosteriorColumnar
+	columnar := d.EncodedSize()
+	if columnar*2 > dense {
+		t.Fatalf("columnar %d B vs dense %d B: below the 2x floor", columnar, dense)
+	}
+}
+
+// TestColumnarDecodeRejectsMalformed: hostile columnar bytes error out
+// instead of panicking or decoding into a non-canonical delta.
+func TestColumnarDecodeRejectsMalformed(t *testing.T) {
+	valid := columnarDelta(1, 0, []PosteriorRow{
+		{Observer: "a", Subject: "b", Coop: 1, Obs: 1},
+		{Observer: "a", Subject: "c", Defect: 2, Obs: 2},
+	}).Encode()
+	flip := func(i int, b byte) []byte {
+		out := append([]byte{}, valid...)
+		out[i] = b
+		return out
+	}
+	cases := map[string][]byte{
+		"magic only":       {columnarMagic},
+		"short header":     valid[:6],
+		"reserved flags":   flip(1, 0x40),
+		"quantum above 52": flip(1, 53),
+		"truncated table":  valid[:12],
+		"truncated rows":   valid[:len(valid)-3],
+		"trailing bytes":   append(append([]byte{}, valid...), 0xff),
+		"nan decay":        append([]byte{columnarMagic, 0}, append(bytesOfFloat(math.NaN()), valid[10:]...)...),
+		"zero decay":       append([]byte{columnarMagic, 0}, append(bytesOfFloat(0), valid[10:]...)...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeEvidence(EvidencePosterior, data); err == nil {
+			t.Errorf("%s: malformed columnar delta decoded", name)
+		}
+	}
+	// Structural canonicality: an unused string-table entry, an unsorted
+	// table, an out-of-range index, a zero observation count and a negative
+	// lossless mass must all be rejected — these are exactly the shapes a
+	// re-encode would silently "fix", breaking the identity.
+	structural := map[string]func(*PosteriorDelta) []byte{
+		"unused table entry": func(d *PosteriorDelta) []byte {
+			// Hand-roll: table {a,b,c,z}, rows reference only a,b,c.
+			out := []byte{columnarMagic, 0}
+			out = append(out, bytesOfFloat(1)...)
+			out = append(out, 4)
+			for _, id := range []string{"a", "b", "c", "z"} {
+				out = append(out, byte(len(id)))
+				out = append(out, id...)
+			}
+			out = append(out, 2)    // rows
+			out = append(out, 0, 0) // observers: a, a
+			out = append(out, 1, 0) // subjects: b, then c (delta-1 = 0)
+			out = append(out, 1, 0) // coop: tiny lossless words
+			out = append(out, 0, 1) // defect
+			out = append(out, 1, 2) // obs
+			return out
+		},
+		"unsorted table": func(d *PosteriorDelta) []byte {
+			out := []byte{columnarMagic, 0}
+			out = append(out, bytesOfFloat(1)...)
+			out = append(out, 2)
+			out = append(out, 1, 'b', 1, 'a')
+			out = append(out, 1)    // one row
+			out = append(out, 0)    // observer b
+			out = append(out, 1)    // subject a
+			out = append(out, 1, 0) // masses
+			out = append(out, 1)    // obs
+			return out
+		},
+		"index out of range": func(d *PosteriorDelta) []byte {
+			out := []byte{columnarMagic, 0}
+			out = append(out, bytesOfFloat(1)...)
+			out = append(out, 1, 1, 'a')
+			out = append(out, 1)    // one row
+			out = append(out, 5)    // observer index 5 of 1
+			out = append(out, 0)    // subject
+			out = append(out, 1, 0) // masses
+			out = append(out, 1)    // obs
+			return out
+		},
+	}
+	for name, build := range structural {
+		if _, err := DecodeEvidence(EvidencePosterior, build(nil)); err == nil {
+			t.Errorf("%s: non-canonical columnar delta decoded", name)
+		}
+	}
+	zeroObs := columnarDelta(1, 0, []PosteriorRow{{Observer: "a", Subject: "b", Coop: 1, Obs: 1}}).Encode()
+	zeroObs[len(zeroObs)-1] = 0
+	if _, err := DecodeEvidence(EvidencePosterior, zeroObs); err == nil {
+		t.Error("zero observation count decoded")
+	}
+}
+
+// TestColumnarMergePreservesReceiverCodec: merging keeps the left operand's
+// codec fields — the property that makes mixed-codec merges associative.
+func TestColumnarMergePreservesReceiverCodec(t *testing.T) {
+	a := columnarDelta(1, 6, []PosteriorRow{{Observer: "a", Subject: "b", Coop: 1, Obs: 1}})
+	b := NewPosteriorDelta(1, []PosteriorRow{{Observer: "a", Subject: "c", Defect: 1, Obs: 1}})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Codec != PosteriorColumnar || a.Quantum != 6 {
+		t.Fatalf("merge clobbered receiver codec: %v q%d", a.Codec, a.Quantum)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("merge lost rows: %d", len(a.Rows))
+	}
+}
+
+// TestExportPolicyDeferredNotDropped: with a selective policy, withheld
+// subjects stay pending and ship in later exports — the union of all
+// selective exports carries exactly the evidence one full export would have.
+func TestExportPolicyDeferredNotDropped(t *testing.T) {
+	record := func(b *Beta) {
+		for s := 0; s < 6; s++ {
+			peer := PeerID(fmt.Sprintf("s%d", s))
+			for i := 0; i <= s; i++ { // s0 gets 1 obs … s5 gets 6
+				b.Record(peer, Outcome{Cooperated: i%2 == 0})
+			}
+		}
+	}
+	full := NewBeta(BetaConfig{})
+	record(full)
+	want := full.ExportDelta("me")
+
+	selective := NewBeta(BetaConfig{Export: ExportPolicy{TopK: 2}})
+	record(selective)
+	var got *PosteriorDelta
+	exports := 0
+	for {
+		d := selective.ExportDelta("me")
+		if d == nil {
+			break
+		}
+		exports++
+		if len(d.Rows) > 2 {
+			t.Fatalf("export %d carries %d rows, policy caps at 2", exports, len(d.Rows))
+		}
+		if got == nil {
+			got = d
+		} else if err := got.Merge(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if exports != 3 {
+		t.Fatalf("6 subjects under top-2 took %d exports, want 3", exports)
+	}
+	sortRows := func(d *PosteriorDelta) *PosteriorDelta { return NewPosteriorDelta(d.Decay, d.Rows) }
+	if !reflect.DeepEqual(sortRows(got).Rows, sortRows(want).Rows) {
+		t.Errorf("union of selective exports diverged from the full export:\n%+v\nvs\n%+v", got.Rows, want.Rows)
+	}
+}
+
+// TestExportPolicyTopKOrder: top-k keeps the most-observed subjects first,
+// breaking ties toward the smaller subject ID.
+func TestExportPolicyTopKOrder(t *testing.T) {
+	b := NewBeta(BetaConfig{Export: ExportPolicy{TopK: 2}})
+	for peer, n := range map[PeerID]int{"s0": 1, "s1": 3, "s2": 3, "s3": 2} {
+		for i := 0; i < n; i++ {
+			b.Record(peer, Outcome{Cooperated: true})
+		}
+	}
+	d := b.ExportDelta("me")
+	if len(d.Rows) != 2 || d.Rows[0].Subject != "s1" || d.Rows[1].Subject != "s2" {
+		t.Fatalf("top-2 export picked %+v, want s1 and s2", d.Rows)
+	}
+}
+
+// TestExportPolicyMinConfidenceDefers: a subject below the reliability
+// threshold stays pending — and ships once more observations accrue.
+func TestExportPolicyMinConfidenceDefers(t *testing.T) {
+	// Epsilon 0.5: Reliability(2) ≈ 0.26, Reliability(4) ≈ 0.73.
+	b := NewBeta(BetaConfig{Export: ExportPolicy{MinConfidence: 0.5, Epsilon: 0.5}})
+	b.Record("s0", Outcome{Cooperated: true})
+	b.Record("s0", Outcome{Cooperated: true})
+	if d := b.ExportDelta("me"); d != nil {
+		t.Fatalf("2 observations exported at reliability %.2f < 0.5: %+v", Reliability(2, 0.5), d.Rows)
+	}
+	b.Record("s0", Outcome{Cooperated: false})
+	b.Record("s0", Outcome{Cooperated: true})
+	d := b.ExportDelta("me")
+	if d == nil || len(d.Rows) != 1 {
+		t.Fatalf("4 observations at reliability %.2f did not export", Reliability(4, 0.5))
+	}
+	r := d.Rows[0]
+	if r.Obs != 4 || r.Coop != 3 || r.Defect != 1 {
+		t.Fatalf("deferred mass lost: %+v, want all 4 observations", r)
+	}
+}
+
+// TestExportPolicyStampsCodec: the policy's codec and quantization ride the
+// exported delta, so the wire format follows BetaConfig with no transport
+// changes.
+func TestExportPolicyStampsCodec(t *testing.T) {
+	b := NewBeta(BetaConfig{Export: ExportPolicy{QuantizeBits: 6}})
+	b.Record("s0", Outcome{Cooperated: true})
+	d := b.ExportDelta("me")
+	if d.Codec != PosteriorColumnar || d.Quantum != 6 {
+		t.Fatalf("exported delta codec %v q%d, want columnar q6", d.Codec, d.Quantum)
+	}
+	if enc := d.Encode(); enc[0] != columnarMagic {
+		t.Fatalf("exported delta encodes dense despite columnar policy")
+	}
+}
+
+// TestParseEvidenceSpec: the -evidence flag grammar round-trips into kinds
+// and export policies, and rejects what it must.
+func TestParseEvidenceSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		kind EvidenceKind
+		pol  ExportPolicy
+	}{
+		{"complaints", EvidenceComplaints, ExportPolicy{}},
+		{"posterior", EvidencePosterior, ExportPolicy{}},
+		{"posterior+columnar", EvidencePosterior, ExportPolicy{Codec: PosteriorColumnar}},
+		{"posterior+q6", EvidencePosterior, ExportPolicy{Codec: PosteriorColumnar, QuantizeBits: 6}},
+		{"posterior+columnar+top4", EvidencePosterior, ExportPolicy{Codec: PosteriorColumnar, TopK: 4}},
+		{"posterior+conf0.7+eps0.5", EvidencePosterior, ExportPolicy{MinConfidence: 0.7, Epsilon: 0.5}},
+		{"posterior+dense", EvidencePosterior, ExportPolicy{}},
+	}
+	for _, c := range cases {
+		kind, pol, err := ParseEvidenceSpec(c.spec)
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if kind != c.kind || pol != c.pol {
+			t.Errorf("%q: got (%v, %+v), want (%v, %+v)", c.spec, kind, pol, c.kind, c.pol)
+		}
+	}
+	for _, spec := range []string{
+		"", "witness", "complaints+columnar", "posterior+q0", "posterior+q53",
+		"posterior+top0", "posterior+conf1", "posterior+conf0", "posterior+eps0",
+		"posterior+bogus", "posterior+topx",
+	} {
+		if _, _, err := ParseEvidenceSpec(spec); err == nil {
+			t.Errorf("%q: invalid spec parsed", spec)
+		}
+	}
+}
+
+// TestExportPolicyString: labels used in table captions and artifact rows.
+func TestExportPolicyString(t *testing.T) {
+	cases := []struct {
+		pol  ExportPolicy
+		want string
+	}{
+		{ExportPolicy{}, "dense"},
+		{ExportPolicy{Codec: PosteriorColumnar}, "columnar"},
+		{ExportPolicy{QuantizeBits: 6}, "columnar+q6"},
+		{ExportPolicy{Codec: PosteriorColumnar, TopK: 4, MinConfidence: 0.7, Epsilon: 0.5}, "columnar+top4+conf0.7+eps0.5"},
+	}
+	for _, c := range cases {
+		if got := c.pol.String(); got != c.want {
+			t.Errorf("%+v: String() = %q, want %q", c.pol, got, c.want)
+		}
+	}
+}

@@ -106,6 +106,10 @@ type BetaConfig struct {
 	Decay float64
 	// Epsilon is the error tolerance for Confidence; 0 means DefaultEpsilon.
 	Epsilon float64
+	// Export tunes what ExportDelta ships and how it is encoded (selective
+	// export, codec, lossy quantization). The zero value exports everything
+	// pending in the dense lossless format — the PR 5 wire behaviour.
+	Export ExportPolicy
 }
 
 func (c BetaConfig) withDefaults() BetaConfig {
@@ -121,6 +125,7 @@ func (c BetaConfig) withDefaults() BetaConfig {
 	if c.Epsilon <= 0 {
 		c.Epsilon = DefaultEpsilon
 	}
+	c.Export = c.Export.withDefaults()
 	return c
 }
 
@@ -184,17 +189,47 @@ func (b *Beta) Record(peer PeerID, o Outcome) {
 // posterior delta whose rows carry the given observer identity: per subject
 // the pending (already-decayed) cooperation/defection mass and its
 // observation count. Subjects appear in sorted order — the canonical row
-// order — and the pending accumulators reset, so consecutive exports
+// order — and the drained accumulators reset, so consecutive exports
 // partition the estimator's evidence stream. Returns nil when nothing is
 // pending.
+//
+// A selective ExportPolicy (TopK, MinConfidence) drains only the qualifying
+// subjects: a withheld subject's accumulator survives untouched — still
+// decaying in step with the main counts — and ships in a later export once
+// it qualifies. Deferred, never dropped. The policy's codec and quantization
+// stamp the returned delta, so the wire encoding follows the estimator's
+// configuration with no transport changes.
 func (b *Beta) ExportDelta(observer PeerID) *PosteriorDelta {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	pol := b.cfg.Export
 	var subjects []PeerID
 	for p, c := range b.counts {
-		if c.pendObs > 0 {
-			subjects = append(subjects, p)
+		if c.pendObs == 0 {
+			continue
 		}
+		if pol.MinConfidence > 0 {
+			eps := pol.Epsilon
+			if eps <= 0 {
+				eps = b.cfg.Epsilon
+			}
+			if Reliability(float64(c.pendObs), eps) < pol.MinConfidence {
+				continue
+			}
+		}
+		subjects = append(subjects, p)
+	}
+	if pol.TopK > 0 && len(subjects) > pol.TopK {
+		// Keep the K subjects with the most pending observations, ties to
+		// the smaller subject ID (deterministic regardless of map order).
+		sort.Slice(subjects, func(i, j int) bool {
+			oi, oj := b.counts[subjects[i]].pendObs, b.counts[subjects[j]].pendObs
+			if oi != oj {
+				return oi > oj
+			}
+			return subjects[i] < subjects[j]
+		})
+		subjects = subjects[:pol.TopK]
 	}
 	if len(subjects) == 0 {
 		return nil
@@ -212,7 +247,7 @@ func (b *Beta) ExportDelta(observer PeerID) *PosteriorDelta {
 		})
 		c.pendCoop, c.pendDefect, c.pendObs = 0, 0, 0
 	}
-	return &PosteriorDelta{Decay: b.cfg.Decay, Rows: rows}
+	return &PosteriorDelta{Decay: b.cfg.Decay, Codec: pol.Codec, Quantum: pol.QuantizeBits, Rows: rows}
 }
 
 // ApplyDelta folds a peer's exported posterior delta into this estimator:
